@@ -1,0 +1,89 @@
+// Command sigbench regenerates the tables and figures of Ji, Ge, Kurose,
+// and Towsley, "A Comparison of Hard-state and Soft-state Signaling
+// Protocols" (SIGCOMM 2003), plus this repository's ablation studies.
+//
+// Usage:
+//
+//	sigbench -list                 # show every experiment
+//	sigbench -run fig4a            # one experiment, aligned table
+//	sigbench -run all -format tsv  # everything, tab-separated
+//	sigbench -run fig11a -full     # full resolution (slower simulations)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"softstate/internal/exp"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		run    = flag.String("run", "", "experiment ID to run, or \"all\"")
+		format = flag.String("format", "pretty", "output format: pretty or tsv")
+		full   = flag.Bool("full", false, "full sweep resolution and simulation depth (slower)")
+		seed   = flag.Uint64("seed", 1, "random seed for simulation-backed experiments")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		listExperiments()
+		if *run == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nuse -run <id> to execute an experiment")
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := exp.Options{Quick: !*full, Seed: *seed}
+	var targets []exp.Experiment
+	if *run == "all" {
+		targets = exp.All()
+	} else {
+		e, ok := exp.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sigbench: unknown experiment %q (try -list)\n", *run)
+			os.Exit(2)
+		}
+		targets = []exp.Experiment{e}
+	}
+
+	for i, e := range targets {
+		if i > 0 {
+			fmt.Println()
+		}
+		table, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sigbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "tsv":
+			fmt.Printf("## %s — %s\n", e.ID, e.Title)
+			if err := table.WriteTSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "sigbench: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Printf("%s — %s\n%s\n", e.ID, e.Title, e.Description)
+			if err := table.WritePretty(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "sigbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func listExperiments() {
+	fmt.Println("Available experiments (paper artifact → generator):")
+	for _, e := range exp.All() {
+		tag := " "
+		if e.Simulated {
+			tag = "*"
+		}
+		fmt.Printf("  %-22s %s %s\n", e.ID, tag, e.Title)
+	}
+	fmt.Println("\n  * = runs the event simulator (slower; -full raises fidelity)")
+}

@@ -1,0 +1,227 @@
+// Command signald runs live soft/hard-state signaling endpoints over UDP
+// using the internal/signal runtime — the deployable counterpart to the
+// models and simulators.
+//
+// Modes:
+//
+//	signald -mode serve -addr 127.0.0.1:7413 -proto SS+ER
+//	    Run a receiver (state holder); prints state changes as they happen.
+//
+//	signald -mode send -peer 127.0.0.1:7413 -proto SS+ER -key flow/1 -value 10Mbps -hold 30s
+//	    Install a key at the receiver, hold it (refreshing), then remove it
+//	    and exit.
+//
+//	signald -mode demo -proto HS -loss 0.3
+//	    Self-contained two-endpoint demonstration over an in-memory lossy
+//	    channel: install, update, false removal + repair, explicit removal.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"softstate/internal/lossy"
+	sig "softstate/internal/signal"
+	"softstate/internal/singlehop"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "demo", "serve, send, or demo")
+		proto   = flag.String("proto", "SS+ER", "protocol: SS, SS+ER, SS+RT, SS+RTR, HS")
+		addr    = flag.String("addr", "127.0.0.1:7413", "listen address (serve)")
+		peer    = flag.String("peer", "127.0.0.1:7413", "receiver address (send)")
+		key     = flag.String("key", "demo/key", "state key (send)")
+		value   = flag.String("value", "hello", "state value (send)")
+		hold    = flag.Duration("hold", 20*time.Second, "how long to maintain state (send)")
+		refresh = flag.Duration("refresh", 2*time.Second, "refresh interval R")
+		loss    = flag.Float64("loss", 0.2, "channel loss probability (demo)")
+	)
+	flag.Parse()
+
+	p, err := parseProto(*proto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "signald:", err)
+		os.Exit(2)
+	}
+	cfg := sig.Config{
+		Protocol:        p,
+		RefreshInterval: *refresh,
+		Timeout:         3 * *refresh,
+		Retransmit:      200 * time.Millisecond,
+	}
+
+	switch *mode {
+	case "serve":
+		if err := serve(*addr, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "signald:", err)
+			os.Exit(1)
+		}
+	case "send":
+		if err := send(*peer, cfg, *key, []byte(*value), *hold); err != nil {
+			fmt.Fprintln(os.Stderr, "signald:", err)
+			os.Exit(1)
+		}
+	case "demo":
+		if err := demo(cfg, *loss); err != nil {
+			fmt.Fprintln(os.Stderr, "signald:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "signald: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func parseProto(name string) (sig.Protocol, error) {
+	for _, p := range singlehop.Protocols() {
+		if strings.EqualFold(p.String(), name) {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown protocol %q", name)
+}
+
+func serve(addr string, cfg sig.Config) error {
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return err
+	}
+	rcv, err := sig.NewReceiver(conn, cfg)
+	if err != nil {
+		return err
+	}
+	defer rcv.Close()
+	fmt.Printf("signald: %v receiver on %v (T=%v); Ctrl-C to stop\n",
+		cfg.Protocol, conn.LocalAddr(), cfg.Timeout)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case ev, ok := <-rcv.Events():
+			if !ok {
+				return nil
+			}
+			fmt.Printf("%s  %-14s key=%q value=%q (%d keys held)\n",
+				time.Now().Format("15:04:05.000"), ev.Kind, ev.Key, ev.Value, rcv.Len())
+		case <-stop:
+			fmt.Println("\nsignald: shutting down")
+			return nil
+		}
+	}
+}
+
+func send(peerAddr string, cfg sig.Config, key string, value []byte, hold time.Duration) error {
+	raddr, err := net.ResolveUDPAddr("udp", peerAddr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	snd, err := sig.NewSender(conn, raddr, cfg)
+	if err != nil {
+		return err
+	}
+	defer snd.Close()
+	go logEvents("sender", snd.Events())
+
+	fmt.Printf("signald: installing %q at %v via %v, holding %v\n", key, raddr, cfg.Protocol, hold)
+	if err := snd.Install(key, value); err != nil {
+		return err
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-time.After(hold):
+	case <-stop:
+		fmt.Println("\nsignald: interrupted")
+	}
+	if cfg.Protocol.ExplicitRemoval() {
+		fmt.Println("signald: removing state explicitly")
+	} else {
+		fmt.Println("signald: departing silently (receiver must time the state out)")
+	}
+	if err := snd.Remove(key); err != nil {
+		return err
+	}
+	time.Sleep(500 * time.Millisecond) // let reliable removal finish
+	st := snd.Stats()
+	fmt.Printf("signald: sent %d messages (%v)\n", st.TotalSent(), st.Sent)
+	return nil
+}
+
+func demo(cfg sig.Config, loss float64) error {
+	// Faster timers make the demo snappy.
+	cfg.RefreshInterval = 300 * time.Millisecond
+	cfg.Timeout = 900 * time.Millisecond
+	cfg.Retransmit = 60 * time.Millisecond
+
+	a, b, err := lossy.Pipe(lossy.Config{Loss: loss, Delay: 10 * time.Millisecond})
+	if err != nil {
+		return err
+	}
+	snd, err := sig.NewSender(a, b.LocalAddr(), cfg)
+	if err != nil {
+		return err
+	}
+	rcv, err := sig.NewReceiver(b, cfg)
+	if err != nil {
+		return err
+	}
+	defer rcv.Close()
+	defer snd.Close()
+	go logEvents("sender  ", snd.Events())
+	go logEvents("receiver", rcv.Events())
+
+	fmt.Printf("demo: %v over a %.0f%%-loss channel\n", cfg.Protocol, loss*100)
+	step := func(what string, f func() error) error {
+		fmt.Printf("\n--- %s\n", what)
+		if err := f(); err != nil {
+			return err
+		}
+		time.Sleep(600 * time.Millisecond)
+		return nil
+	}
+	if err := step("install flow/1 = 10Mbps", func() error {
+		return snd.Install("flow/1", []byte("10Mbps"))
+	}); err != nil {
+		return err
+	}
+	if err := step("update flow/1 = 20Mbps", func() error {
+		return snd.Update("flow/1", []byte("20Mbps"))
+	}); err != nil {
+		return err
+	}
+	if err := step("inject false removal (external signal misfires)", func() error {
+		rcv.InjectFalseRemoval("flow/1")
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := step("remove flow/1", func() error {
+		return snd.Remove("flow/1")
+	}); err != nil {
+		return err
+	}
+	time.Sleep(2 * cfg.Timeout) // let silent departures expire
+	ss, rs := snd.Stats(), rcv.Stats()
+	fmt.Printf("\ndemo: sender sent %v; receiver sent %v; receiver holds %d keys\n",
+		ss.Sent, rs.Sent, rcv.Len())
+	return nil
+}
+
+func logEvents(who string, ch <-chan sig.Event) {
+	for ev := range ch {
+		fmt.Printf("%s  [%s] %-14s key=%q value=%q\n",
+			time.Now().Format("15:04:05.000"), who, ev.Kind, ev.Key, ev.Value)
+	}
+}

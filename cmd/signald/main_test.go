@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"softstate/internal/singlehop"
+)
+
+func TestParseProto(t *testing.T) {
+	cases := map[string]singlehop.Protocol{
+		"SS":     singlehop.SS,
+		"ss+er":  singlehop.SSER,
+		"Ss+Rt":  singlehop.SSRT,
+		"SS+RTR": singlehop.SSRTR,
+		"hs":     singlehop.HS,
+	}
+	for in, want := range cases {
+		got, err := parseProto(in)
+		if err != nil || got != want {
+			t.Fatalf("parseProto(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseProto("tcp"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}

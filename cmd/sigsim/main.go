@@ -1,0 +1,169 @@
+// Command sigsim runs ad-hoc signaling simulations and analytic solutions
+// at user-chosen parameter points — the interactive counterpart to
+// sigbench's fixed paper sweeps.
+//
+// Examples:
+//
+//	sigsim -proto SS+ER -lifetime 600 -loss 0.05
+//	sigsim -proto HS -analytic-only
+//	sigsim -multihop -proto SS+RT -hops 12 -horizon 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"softstate/internal/core"
+)
+
+func main() {
+	var (
+		protoName = flag.String("proto", "SS", "protocol: SS, SS+ER, SS+RT, SS+RTR, HS, or all")
+		lifetime  = flag.Float64("lifetime", 1800, "mean session length 1/μr in seconds (single-hop)")
+		update    = flag.Float64("update-interval", 20, "mean update interval 1/λu in seconds")
+		loss      = flag.Float64("loss", 0.02, "per-message loss probability pl")
+		delay     = flag.Float64("delay", 0.030, "one-way channel delay D in seconds")
+		refresh   = flag.Float64("refresh", 5, "refresh timer R in seconds")
+		timeout   = flag.Float64("timeout", 0, "state-timeout timer T in seconds (0 = 3R)")
+		retx      = flag.Float64("retransmit", 0, "retransmission timer Γ in seconds (0 = 4D)")
+		sessions  = flag.Int("sessions", 2000, "sessions to simulate")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		timers    = flag.String("timers", "deterministic", "timer distribution: deterministic, exponential, jitter")
+		anaOnly   = flag.Bool("analytic-only", false, "skip simulation")
+		multihop  = flag.Bool("multihop", false, "run the multi-hop study instead of single-hop")
+		hops      = flag.Int("hops", 20, "path length N (multi-hop)")
+		horizon   = flag.Float64("horizon", 50000, "simulated seconds per run (multi-hop)")
+		runs      = flag.Int("runs", 3, "independent replications (multi-hop)")
+		alpha     = flag.Float64("alpha", 10, "inconsistency cost weight α for C = α·I + Λ")
+	)
+	flag.Parse()
+
+	protos, err := parseProtocols(*protoName, *multihop)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigsim:", err)
+		os.Exit(2)
+	}
+	kind, err := parseTimers(*timers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigsim:", err)
+		os.Exit(2)
+	}
+
+	if *multihop {
+		mp := core.DefaultMultihopParams().WithHops(*hops).WithRefresh(*refresh)
+		if *timeout > 0 {
+			mp.Timeout = *timeout
+		}
+		mp.Loss = *loss
+		mp.Delay = *delay
+		if *retx > 0 {
+			mp.Retransmit = *retx
+		} else {
+			mp.Retransmit = 4 * *delay
+		}
+		mp.UpdateRate = 1 / *update
+		runMultihop(protos, mp, *anaOnly, *horizon, *runs, *seed, kind)
+		return
+	}
+
+	p := core.DefaultParams().WithSessionLength(*lifetime).WithRefresh(*refresh).WithDelay(*delay)
+	p.UpdateRate = 1 / *update
+	p.Loss = *loss
+	if *timeout > 0 {
+		p.Timeout = *timeout
+	}
+	if *retx > 0 {
+		p.Retransmit = *retx
+	}
+	runSinglehop(protos, p, *anaOnly, *sessions, *seed, kind, *alpha)
+}
+
+func parseProtocols(name string, multihop bool) ([]core.Protocol, error) {
+	all := core.Protocols()
+	if multihop {
+		all = core.MultihopProtocols()
+	}
+	if strings.EqualFold(name, "all") {
+		return all, nil
+	}
+	for _, p := range all {
+		if strings.EqualFold(p.String(), name) {
+			return []core.Protocol{p}, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown protocol %q (multihop=%v)", name, multihop)
+}
+
+func parseTimers(name string) (core.TimerKind, error) {
+	switch strings.ToLower(name) {
+	case "deterministic", "det":
+		return core.Deterministic, nil
+	case "exponential", "exp":
+		return core.Exponential, nil
+	case "jitter", "uniform":
+		return core.UniformJitter, nil
+	default:
+		return 0, fmt.Errorf("unknown timer distribution %q", name)
+	}
+}
+
+func runSinglehop(protos []core.Protocol, p core.Params, anaOnly bool, sessions int, seed uint64, kind core.TimerKind, alpha float64) {
+	fmt.Printf("single-hop: 1/μr=%.4gs 1/λu=%.4gs pl=%.3g D=%.3gs R=%.3gs T=%.3gs Γ=%.3gs\n\n",
+		1/p.RemovalRate, 1/p.UpdateRate, p.Loss, p.Delay, p.Refresh, p.Timeout, p.Retransmit)
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "proto", "analytic I", "analytic Λ", "cost C", "lifetime")
+	for _, proto := range protos {
+		m, err := core.Analyze(proto, p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8v %12.5f %12.4f %12.4f %12.1f\n",
+			proto, m.Inconsistency, m.NormalizedRate, core.IntegratedCost(alpha, m), m.Lifetime)
+	}
+	if anaOnly {
+		return
+	}
+	fmt.Printf("\nsimulation (%d sessions, %v timers):\n", sessions, kind)
+	fmt.Printf("%-8s %22s %22s\n", "proto", "sim I (±95%)", "sim Λ (±95%)")
+	for _, proto := range protos {
+		res, err := core.Simulate(core.SimConfig{
+			Protocol: proto, Params: p, Sessions: sessions, Seed: seed, Timers: kind,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8v %22s %22s\n", proto, res.Inconsistency, res.NormalizedRate)
+	}
+}
+
+func runMultihop(protos []core.Protocol, mp core.MultihopParams, anaOnly bool, horizon float64, runs int, seed uint64, kind core.TimerKind) {
+	fmt.Printf("multi-hop: N=%d 1/λu=%.4gs pl=%.3g D=%.3gs R=%.3gs T=%.3gs Γ=%.3gs\n\n",
+		mp.Hops, 1/mp.UpdateRate, mp.Loss, mp.Delay, mp.Refresh, mp.Timeout, mp.Retransmit)
+	fmt.Printf("%-8s %12s %14s\n", "proto", "analytic I", "analytic rate")
+	for _, proto := range protos {
+		m, err := core.AnalyzeMultihop(proto, mp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8v %12.5f %14.4f\n", proto, m.Inconsistency, m.MsgRate)
+	}
+	if anaOnly {
+		return
+	}
+	fmt.Printf("\nsimulation (%d runs × %.0fs, %v timers):\n", runs, horizon, kind)
+	fmt.Printf("%-8s %22s %22s\n", "proto", "sim I (±95%)", "sim rate (±95%)")
+	for _, proto := range protos {
+		res, err := core.SimulateMultihop(core.MultihopSimConfig{
+			Protocol: proto, Params: mp, Horizon: horizon, Runs: runs, Seed: seed, Timers: kind,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sigsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8v %22s %22s\n", proto, res.Inconsistency, res.MsgRate)
+	}
+}

@@ -1,0 +1,61 @@
+package softstate_test
+
+import (
+	"fmt"
+	"log"
+
+	"softstate"
+)
+
+// ExampleAnalyze solves the paper's single-hop model for pure soft state
+// at the Kazaa defaults.
+func ExampleAnalyze() {
+	m, err := softstate.Analyze(softstate.SS, softstate.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("I = %.4f, Λ = %.3f msg/s\n", m.Inconsistency, m.NormalizedRate)
+	// Output:
+	// I = 0.0138, Λ = 0.251 msg/s
+}
+
+// ExampleCompare ranks all five protocols by integrated cost.
+func ExampleCompare() {
+	cmp, err := softstate.Compare(softstate.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cmp {
+		fmt.Printf("%-7v C = %.3f\n", c.Protocol, softstate.IntegratedCost(10, c.Metrics))
+	}
+	// Output:
+	// SS      C = 0.389
+	// SS+ER   C = 0.309
+	// SS+RT   C = 0.401
+	// SS+RTR  C = 0.320
+	// HS      C = 0.120
+}
+
+// ExampleAnalyzeMultihop reports how consistency decays along an
+// RSVP-style 20-hop reservation path.
+func ExampleAnalyzeMultihop() {
+	m, err := softstate.AnalyzeMultihop(softstate.SSRT, softstate.DefaultMultihopParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("end-to-end I = %.4f, first hop %.4f, last hop %.4f\n",
+		m.Inconsistency, m.PerHop[0], m.PerHop[len(m.PerHop)-1])
+	// Output:
+	// end-to-end I = 0.0114, first hop 0.0005, last hop 0.0114
+}
+
+// ExampleBestProtocol answers the design question directly.
+func ExampleBestProtocol() {
+	best, _, err := softstate.BestProtocol(10, softstate.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("winner:", best)
+	// Output:
+	// winner: HS
+}

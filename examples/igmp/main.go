@@ -1,0 +1,159 @@
+// IGMP: the paper's opening example of protocol evolution. IGMPv1 managed
+// group membership with pure soft state — a router learned of a host's
+// departure only when its membership timed out, and multicast traffic kept
+// flowing to nobody in the meantime. IGMPv2 added an explicit Leave
+// message: the SS → SS+ER transition, made years before the paper
+// formalized why it matters.
+//
+// This example recreates both versions with the signaling runtime: hosts
+// join groups at a router, one leaves politely, one crashes, and we
+// measure how long the router kept forwarding to departed hosts under
+// each protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"softstate/internal/lossy"
+	sig "softstate/internal/signal"
+)
+
+// router aggregates membership learned on every host-facing port.
+type router struct {
+	mu      sync.Mutex
+	members map[string]bool
+	ports   []*sig.Receiver
+}
+
+func (r *router) set(key string, present bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if present {
+		r.members[key] = true
+	} else {
+		delete(r.members, key)
+	}
+}
+
+func (r *router) has(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.members[key]
+}
+
+func (r *router) waitGone(key string, max time.Duration) time.Duration {
+	start := time.Now()
+	for r.has(key) {
+		if time.Since(start) > max {
+			return max
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return time.Since(start)
+}
+
+// attach adds one host-facing port to the router and mirrors its receiver
+// events into the membership table.
+func (r *router) attach(conn net.PacketConn, cfg sig.Config) {
+	rcv, err := sig.NewReceiver(conn, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r.ports = append(r.ports, rcv)
+	go func() {
+		for ev := range rcv.Events() {
+			switch ev.Kind {
+			case sig.EventInstalled, sig.EventUpdated:
+				r.set(ev.Key, true)
+			case sig.EventRemoved, sig.EventExpired, sig.EventFalseRemoval:
+				r.set(ev.Key, false)
+			}
+		}
+	}()
+}
+
+func (r *router) close() {
+	for _, p := range r.ports {
+		p.Close()
+	}
+}
+
+func main() {
+	for _, proto := range []sig.Protocol{sig.SS, sig.SSER} {
+		version := "IGMPv1 (pure soft state)"
+		if proto == sig.SSER {
+			version = "IGMPv2 (soft state + explicit Leave)"
+		}
+		fmt.Printf("=== %s\n", version)
+		run(proto)
+		fmt.Println()
+	}
+}
+
+func run(proto sig.Protocol) {
+	cfg := sig.Config{
+		Protocol:        proto,
+		RefreshInterval: 100 * time.Millisecond, // membership report interval
+		Timeout:         300 * time.Millisecond, // router's membership timeout
+		Retransmit:      25 * time.Millisecond,
+	}
+	rt := &router{members: make(map[string]bool)}
+	defer rt.close()
+
+	// Each host gets its own slightly lossy LAN segment to the router.
+	newHost := func() *sig.Sender {
+		hc, rc, err := lossy.Pipe(lossy.Config{Loss: 0.05, Delay: 2 * time.Millisecond})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt.attach(rc, cfg)
+		snd, err := sig.NewSender(hc, rc.LocalAddr(), cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return snd
+	}
+	alice, bob, carol := newHost(), newHost(), newHost()
+
+	join := func(s *sig.Sender, key string) {
+		if err := s.Install(key, []byte("member")); err != nil {
+			log.Fatal(err)
+		}
+	}
+	join(alice, "224.0.1.1/alice")
+	join(bob, "224.0.1.1/bob")
+	join(carol, "224.0.9.9/carol")
+
+	// Wait until all three memberships are visible.
+	for _, k := range []string{"224.0.1.1/alice", "224.0.1.1/bob", "224.0.9.9/carol"} {
+		for !rt.has(k) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	fmt.Println("joined: alice, bob → 224.0.1.1; carol → 224.0.9.9")
+
+	// Alice leaves politely; Carol crashes (refreshes just stop).
+	if err := alice.Remove("224.0.1.1/alice"); err != nil {
+		log.Fatal(err)
+	}
+	politeGone := rt.waitGone("224.0.1.1/alice", 5*time.Second)
+	carol.Close()
+	crashGone := rt.waitGone("224.0.9.9/carol", 5*time.Second)
+
+	how := "had to wait for the membership timeout"
+	if proto.ExplicitRemoval() {
+		how = "explicit Leave message"
+	}
+	fmt.Printf("polite leave visible after  %6.0f ms  (%s)\n", ms(politeGone), how)
+	fmt.Printf("crash detected after        %6.0f ms  (timeout is the only signal)\n", ms(crashGone))
+	fmt.Printf("bob's membership persists:  %v\n", rt.has("224.0.1.1/bob"))
+
+	bob.Close()
+	alice.Close()
+}
+
+func ms(d time.Duration) float64 { return d.Seconds() * 1000 }

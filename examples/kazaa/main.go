@@ -1,0 +1,89 @@
+// Kazaa: the paper's motivating single-hop scenario (§III-A). A peer
+// registers its shared files with a supernode; while the registration is
+// stale the supernode directs other peers to a host that is gone, and
+// every such redirect is a fruitless connection attempt — the
+// application-specific cost of inconsistency.
+//
+// This example studies peer churn: how does each protocol behave as the
+// population shifts from flash visitors (5-minute sessions) to long-lived
+// peers (2-hour sessions), and what does that mean in fruitless lookups?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"softstate"
+)
+
+// lookupRate is how often other peers ask the supernode for this peer's
+// files (requests per second); each request served from stale state is a
+// fruitless connection attempt.
+const lookupRate = 0.5
+
+func main() {
+	fmt.Println("P2P registration under churn: fruitless lookups caused by stale")
+	fmt.Println("supernode state, per peer session, by protocol and session length.")
+	fmt.Println()
+	sessions := []struct {
+		name string
+		secs float64
+	}{
+		{"flash visitor (5 min)", 300},
+		{"casual peer (30 min)", 1800},
+		{"resident peer (2 h)", 7200},
+	}
+	fmt.Printf("%-22s %-8s %14s %16s %16s\n",
+		"population", "proto", "inconsistency", "fruitless/sess", "msgs/session")
+	for _, s := range sessions {
+		p := softstate.DefaultParams().WithSessionLength(s.secs)
+		for _, proto := range softstate.Protocols() {
+			m, err := softstate.Analyze(proto, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Stale time per session ≈ I × lifetime; fruitless lookups are
+			// the lookups that land inside it.
+			fruitless := m.Inconsistency * m.Lifetime * lookupRate
+			fmt.Printf("%-22s %-8v %14.5f %16.2f %16.1f\n",
+				s.name, proto, m.Inconsistency, fruitless, m.MessagesPerSession)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The paper's headline, measured: adding explicit removal to SS cuts")
+	fmt.Println("stale-state cost several-fold at nearly zero message overhead —")
+
+	p := softstate.DefaultParams().WithSessionLength(1800)
+	ss, err := softstate.Analyze(softstate.SS, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sser, err := softstate.Analyze(softstate.SSER, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  I improves %.1fx; message rate grows %.2f%%.\n",
+		ss.Inconsistency/sser.Inconsistency,
+		100*(sser.NormalizedRate-ss.NormalizedRate)/ss.NormalizedRate)
+
+	// Validate the claim with the event simulator rather than trusting the
+	// chain: deterministic timers, 2000 sessions.
+	simSS, err := softstate.Simulate(softstate.SimConfig{
+		Protocol: softstate.SS, Params: p, Sessions: 2000, Seed: 17,
+		Timers: softstate.Deterministic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simER, err := softstate.Simulate(softstate.SimConfig{
+		Protocol: softstate.SSER, Params: p, Sessions: 2000, Seed: 17,
+		Timers: softstate.Deterministic,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  simulated: I(SS) = %v, I(SS+ER) = %v (%.1fx)\n",
+		simSS.Inconsistency, simER.Inconsistency,
+		simSS.Inconsistency.Mean/simER.Inconsistency.Mean)
+}

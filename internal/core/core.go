@@ -1,0 +1,137 @@
+// Package core is the unified entry point to the paper's models and
+// simulators: protocol descriptors, single- and multi-hop parameters,
+// analytic solutions, event-level simulation, and the integrated cost
+// metric. The root softstate package re-exports this API; examples and
+// commands should not need to reach into the model packages directly.
+package core
+
+import (
+	"fmt"
+
+	"softstate/internal/multihop"
+	"softstate/internal/rand"
+	"softstate/internal/sim"
+	"softstate/internal/singlehop"
+)
+
+// Protocol identifies one of the paper's five generic signaling protocols.
+type Protocol = singlehop.Protocol
+
+// The five protocols, from pure soft state to pure hard state.
+const (
+	SS    = singlehop.SS
+	SSER  = singlehop.SSER
+	SSRT  = singlehop.SSRT
+	SSRTR = singlehop.SSRTR
+	HS    = singlehop.HS
+)
+
+// Protocols returns all five protocols in the paper's order.
+func Protocols() []Protocol { return singlehop.Protocols() }
+
+// MultihopProtocols returns the protocols covered by the multi-hop study.
+func MultihopProtocols() []Protocol { return []Protocol{SS, SSRT, HS} }
+
+// Params are the single-hop system parameters (§III-A).
+type Params = singlehop.Params
+
+// MultihopParams are the path parameters (§III-B).
+type MultihopParams = multihop.Params
+
+// Metrics are the single-hop analytic outputs.
+type Metrics = singlehop.Metrics
+
+// MultihopMetrics are the multi-hop analytic outputs.
+type MultihopMetrics = multihop.Metrics
+
+// DefaultParams returns the paper's Kazaa-scenario single-hop defaults.
+func DefaultParams() Params { return singlehop.DefaultParams() }
+
+// DefaultMultihopParams returns the paper's bandwidth-reservation path
+// defaults.
+func DefaultMultihopParams() MultihopParams { return multihop.DefaultParams() }
+
+// Analyze solves the single-hop CTMC for proto at p.
+func Analyze(proto Protocol, p Params) (Metrics, error) {
+	return singlehop.Analyze(proto, p)
+}
+
+// AnalyzeMultihop solves the multi-hop CTMC for proto at p.
+func AnalyzeMultihop(proto Protocol, p MultihopParams) (MultihopMetrics, error) {
+	return multihop.Analyze(proto, p)
+}
+
+// IntegratedCost is C = α·I + Λ (eq. 8).
+func IntegratedCost(alpha float64, m Metrics) float64 {
+	return singlehop.IntegratedCost(alpha, m)
+}
+
+// SimConfig parameterizes an event-level single-hop simulation.
+type SimConfig = sim.Config
+
+// SimResult is the single-hop simulation output.
+type SimResult = sim.Result
+
+// MultihopSimConfig parameterizes an event-level path simulation.
+type MultihopSimConfig = sim.MultiConfig
+
+// MultihopSimResult is the path simulation output.
+type MultihopSimResult = sim.MultiResult
+
+// TimerKind selects the timer distribution for simulations.
+type TimerKind = rand.TimerKind
+
+// Timer distribution families. Deployed protocols use Deterministic; the
+// analytic model assumes Exponential (see the timer ablation for why the
+// distinction matters for state-timeout timers).
+const (
+	Exponential   = rand.Exponential
+	Deterministic = rand.Deterministic
+	UniformJitter = rand.UniformJitter
+)
+
+// Simulate runs the event-level single-hop simulator.
+func Simulate(cfg SimConfig) (SimResult, error) { return sim.RunSingleHop(cfg) }
+
+// SimulateMultihop runs the event-level path simulator.
+func SimulateMultihop(cfg MultihopSimConfig) (MultihopSimResult, error) {
+	return sim.RunMultiHop(cfg)
+}
+
+// Comparison pairs a protocol with its analytic metrics.
+type Comparison struct {
+	Protocol Protocol
+	Metrics  Metrics
+}
+
+// Compare solves every protocol at the same single-hop parameter point,
+// in the paper's order — the five-way comparison behind Figures 4–10.
+func Compare(p Params) ([]Comparison, error) {
+	out := make([]Comparison, 0, 5)
+	for _, proto := range Protocols() {
+		m, err := Analyze(proto, p)
+		if err != nil {
+			return nil, fmt.Errorf("core: comparing %v: %w", proto, err)
+		}
+		out = append(out, Comparison{Protocol: proto, Metrics: m})
+	}
+	return out, nil
+}
+
+// BestProtocol returns the protocol minimizing the integrated cost
+// C = α·I + Λ at parameter point p — the decision question the paper's
+// cost model is built to answer.
+func BestProtocol(alpha float64, p Params) (Protocol, float64, error) {
+	cmp, err := Compare(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := cmp[0].Protocol
+	bestCost := IntegratedCost(alpha, cmp[0].Metrics)
+	for _, c := range cmp[1:] {
+		if cost := IntegratedCost(alpha, c.Metrics); cost < bestCost {
+			best, bestCost = c.Protocol, cost
+		}
+	}
+	return best, bestCost, nil
+}

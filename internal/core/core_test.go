@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestCompareCoversAllProtocols(t *testing.T) {
+	cmp, err := Compare(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp) != 5 {
+		t.Fatalf("Compare returned %d entries", len(cmp))
+	}
+	seen := map[Protocol]bool{}
+	for _, c := range cmp {
+		seen[c.Protocol] = true
+		if c.Metrics.Lifetime <= 0 {
+			t.Fatalf("%v has nonpositive lifetime", c.Protocol)
+		}
+	}
+	for _, p := range Protocols() {
+		if !seen[p] {
+			t.Fatalf("missing protocol %v", p)
+		}
+	}
+}
+
+func TestCompareOrderMatchesPaper(t *testing.T) {
+	cmp, err := Compare(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Protocol{SS, SSER, SSRT, SSRTR, HS}
+	for i, c := range cmp {
+		if c.Protocol != want[i] {
+			t.Fatalf("position %d = %v, want %v", i, c.Protocol, want[i])
+		}
+	}
+}
+
+func TestBestProtocolExtremes(t *testing.T) {
+	// α→0: only overhead matters → HS wins at the Kazaa defaults.
+	best, cost, err := BestProtocol(0, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != HS {
+		t.Fatalf("α=0 winner = %v, want HS", best)
+	}
+	if cost <= 0 {
+		t.Fatalf("cost = %v", cost)
+	}
+	// Huge α: consistency dominates → a reliable-removal protocol wins.
+	best, _, err = BestProtocol(1e6, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != SSRTR && best != HS {
+		t.Fatalf("huge-α winner = %v", best)
+	}
+}
+
+func TestMultihopProtocols(t *testing.T) {
+	mp := MultihopProtocols()
+	if len(mp) != 3 || mp[0] != SS || mp[1] != SSRT || mp[2] != HS {
+		t.Fatalf("MultihopProtocols = %v", mp)
+	}
+}
+
+func TestFacadeDelegation(t *testing.T) {
+	// Smoke-check that the facade functions reach the implementations.
+	m, err := Analyze(SS, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Inconsistency <= 0 {
+		t.Fatal("Analyze returned empty metrics")
+	}
+	mm, err := AnalyzeMultihop(SS, DefaultMultihopParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mm.PerHop) != 20 {
+		t.Fatal("AnalyzeMultihop returned wrong hop count")
+	}
+	if got := IntegratedCost(10, m); got <= m.NormalizedRate {
+		t.Fatalf("IntegratedCost = %v", got)
+	}
+	res, err := Simulate(SimConfig{
+		Protocol: SSER,
+		Params:   DefaultParams().WithSessionLength(100),
+		Sessions: 50,
+		Seed:     1,
+		Timers:   Deterministic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != 50 {
+		t.Fatal("Simulate did not run")
+	}
+	mres, err := SimulateMultihop(MultihopSimConfig{
+		Protocol: SS,
+		Params:   DefaultMultihopParams().WithHops(3),
+		Horizon:  500,
+		Runs:     1,
+		Seed:     1,
+		Timers:   Deterministic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mres.PerHop) != 3 {
+		t.Fatal("SimulateMultihop did not run")
+	}
+}

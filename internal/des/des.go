@@ -1,0 +1,200 @@
+// Package des implements a small discrete-event simulation kernel: a
+// virtual clock, an event heap with stable FIFO ordering for simultaneous
+// events, cancellable event handles, and restartable timers.
+//
+// Time is a float64 in seconds to match the analytic models. Determinism
+// is absolute: given the same schedule of callbacks and random streams,
+// two runs produce identical event orders, which the experiment harness
+// relies on for reproducible figures.
+package des
+
+import "fmt"
+
+// Event is a scheduled callback. The zero value is meaningless; events are
+// created through Kernel.Schedule or Kernel.At.
+type Event struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // position in heap, -1 when popped
+}
+
+// Time returns the virtual time at which the event fires (or fired).
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event from firing. Cancelling an already fired or
+// already cancelled event is a no-op, so callers need not track state.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Kernel is the simulation executive. The zero value is ready to use.
+// A Kernel must be driven from a single goroutine.
+type Kernel struct {
+	now    float64
+	seq    uint64
+	heap   []*Event
+	fired  uint64
+	inStep bool
+}
+
+// New returns a fresh kernel at time 0.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Fired returns the number of events executed so far (cancelled events are
+// not counted). Exposed for engine benchmarks and diagnostics.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending returns the number of events in the queue, including events that
+// were cancelled but not yet discarded.
+func (k *Kernel) Pending() int { return len(k.heap) }
+
+// Schedule runs fn after delay units of virtual time. Negative delays
+// panic: the simulation cannot travel backwards.
+func (k *Kernel) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", delay))
+	}
+	return k.At(k.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t, which must not precede Now.
+func (k *Kernel) At(t float64, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", t, k.now))
+	}
+	if fn == nil {
+		panic("des: nil event callback")
+	}
+	e := &Event{time: t, seq: k.seq, fn: fn}
+	k.seq++
+	k.push(e)
+	return e
+}
+
+// Step executes the next pending event, if any, and reports whether one
+// was executed. Cancelled events are discarded without executing.
+func (k *Kernel) Step() bool {
+	for {
+		e := k.pop()
+		if e == nil {
+			return false
+		}
+		if e.cancelled {
+			continue
+		}
+		k.now = e.time
+		k.fired++
+		e.fn()
+		return true
+	}
+}
+
+// Run executes events until the queue drains.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ horizon, then advances the clock to
+// exactly horizon. Events scheduled beyond the horizon stay queued.
+func (k *Kernel) RunUntil(horizon float64) {
+	for {
+		e := k.peek()
+		if e == nil || e.time > horizon {
+			break
+		}
+		k.Step()
+	}
+	if horizon > k.now {
+		k.now = horizon
+	}
+}
+
+// --- binary heap keyed on (time, seq) ---
+
+func (k *Kernel) less(i, j int) bool {
+	a, b := k.heap[i], k.heap[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) swap(i, j int) {
+	k.heap[i], k.heap[j] = k.heap[j], k.heap[i]
+	k.heap[i].index = i
+	k.heap[j].index = j
+}
+
+func (k *Kernel) push(e *Event) {
+	e.index = len(k.heap)
+	k.heap = append(k.heap, e)
+	k.up(e.index)
+}
+
+func (k *Kernel) peek() *Event {
+	for len(k.heap) > 0 && k.heap[0].cancelled {
+		k.removeTop()
+	}
+	if len(k.heap) == 0 {
+		return nil
+	}
+	return k.heap[0]
+}
+
+func (k *Kernel) pop() *Event {
+	if len(k.heap) == 0 {
+		return nil
+	}
+	e := k.heap[0]
+	k.removeTop()
+	return e
+}
+
+func (k *Kernel) removeTop() {
+	n := len(k.heap) - 1
+	top := k.heap[0]
+	k.swap(0, n)
+	k.heap[n] = nil
+	k.heap = k.heap[:n]
+	if n > 0 {
+		k.down(0)
+	}
+	top.index = -1
+}
+
+func (k *Kernel) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.less(i, parent) {
+			break
+		}
+		k.swap(i, parent)
+		i = parent
+	}
+}
+
+func (k *Kernel) down(i int) {
+	n := len(k.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && k.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && k.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		k.swap(i, smallest)
+		i = smallest
+	}
+}

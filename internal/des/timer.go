@@ -1,0 +1,49 @@
+package des
+
+// Timer is a restartable one-shot timer bound to a kernel, mirroring the
+// refresh, state-timeout, and retransmission timers of the signaling
+// protocols. Reset replaces any pending expiry, exactly like restarting a
+// protocol timer on message receipt.
+type Timer struct {
+	kernel *Kernel
+	fn     func()
+	ev     *Event
+}
+
+// NewTimer returns an inactive timer that runs fn on expiry.
+func (k *Kernel) NewTimer(fn func()) *Timer {
+	if fn == nil {
+		panic("des: nil timer callback")
+	}
+	return &Timer{kernel: k, fn: fn}
+}
+
+// Reset (re)arms the timer to fire after delay, cancelling any pending
+// expiry first.
+func (t *Timer) Reset(delay float64) {
+	t.Stop()
+	ev := t.kernel.Schedule(delay, func() {
+		t.ev = nil
+		t.fn()
+	})
+	t.ev = ev
+}
+
+// Stop disarms the timer. Stopping an inactive timer is a no-op.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Active reports whether an expiry is pending.
+func (t *Timer) Active() bool { return t.ev != nil && !t.ev.Cancelled() }
+
+// Deadline returns the pending expiry time; valid only when Active.
+func (t *Timer) Deadline() float64 {
+	if t.ev == nil {
+		return 0
+	}
+	return t.ev.Time()
+}

@@ -1,0 +1,285 @@
+// Package lossy provides transports for exercising the signaling runtime
+// under adverse conditions: an in-memory net.PacketConn pair with
+// configurable loss, delay, and jitter (deterministic enough for tests),
+// and a wrapper that injects the same impairments into any real
+// net.PacketConn (e.g. a UDP socket) for demos.
+package lossy
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"softstate/internal/rand"
+)
+
+// Config describes channel impairments.
+type Config struct {
+	// Loss is the probability a written datagram is silently dropped.
+	Loss float64
+	// Delay is the mean one-way delay added to each datagram.
+	Delay time.Duration
+	// Jitter, when positive, spreads the delay uniformly over
+	// [Delay-Jitter, Delay+Jitter].
+	Jitter time.Duration
+	// Seed drives the loss/jitter stream (0 means a fixed default).
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Loss < 0 || c.Loss > 1 || math.IsNaN(c.Loss) {
+		return errors.New("lossy: loss probability outside [0,1]")
+	}
+	if c.Delay < 0 || c.Jitter < 0 {
+		return errors.New("lossy: negative delay or jitter")
+	}
+	if c.Jitter > c.Delay {
+		return errors.New("lossy: jitter exceeds mean delay")
+	}
+	return nil
+}
+
+// addr is a trivial net.Addr for the in-memory transport.
+type addr string
+
+func (a addr) Network() string { return "lossy" }
+func (a addr) String() string  { return string(a) }
+
+// packet is one queued datagram.
+type packet struct {
+	data []byte
+	from net.Addr
+}
+
+// Pipe returns two connected in-memory PacketConns, a ↔ b, each direction
+// independently subjected to cfg. Datagram boundaries are preserved; FIFO
+// order is maintained (delays are applied to the queue head, mirroring the
+// paper's no-reorder channel).
+func Pipe(cfg Config) (a, b net.PacketConn, err error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x10551055
+	}
+	rng := rand.NewSource(seed)
+	ca := newPipeConn("pipe-a", cfg, rng.Split())
+	cb := newPipeConn("pipe-b", cfg, rng.Split())
+	ca.peer, cb.peer = cb, ca
+	return ca, cb, nil
+}
+
+// pipeConn is one endpoint of an in-memory pair.
+type pipeConn struct {
+	name addr
+	cfg  Config
+
+	mu     sync.Mutex
+	rng    *rand.Source
+	peer   *pipeConn
+	queue  chan packet
+	closed bool
+	wg     sync.WaitGroup
+
+	readDeadline time.Time
+}
+
+const pipeQueueDepth = 1024
+
+func newPipeConn(name string, cfg Config, rng *rand.Source) *pipeConn {
+	return &pipeConn{
+		name:  addr(name),
+		cfg:   cfg,
+		rng:   rng,
+		queue: make(chan packet, pipeQueueDepth),
+	}
+}
+
+// WriteTo applies loss and delay, then enqueues at the peer.
+func (c *pipeConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	drop := c.rng.Bernoulli(c.cfg.Loss)
+	delay := c.sampleDelayLocked()
+	peer := c.peer
+	c.mu.Unlock()
+
+	if drop {
+		return len(p), nil // silently dropped, like a lossy network
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	deliver := func() { peer.enqueue(packet{data: data, from: c.name}) }
+	if delay <= 0 {
+		deliver()
+		return len(p), nil
+	}
+	c.wg.Add(1)
+	time.AfterFunc(delay, func() {
+		defer c.wg.Done()
+		deliver()
+	})
+	return len(p), nil
+}
+
+func (c *pipeConn) sampleDelayLocked() time.Duration {
+	d := c.cfg.Delay
+	if c.cfg.Jitter > 0 {
+		span := 2 * c.cfg.Jitter.Seconds()
+		d = time.Duration((c.cfg.Delay.Seconds() - c.cfg.Jitter.Seconds() + c.rng.Float64()*span) * float64(time.Second))
+	}
+	return d
+}
+
+func (c *pipeConn) enqueue(p packet) {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case c.queue <- p:
+	default:
+		// Queue overflow behaves like router-buffer drop.
+	}
+}
+
+// ReadFrom blocks for the next datagram, honoring the read deadline.
+func (c *pipeConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	c.mu.Lock()
+	deadline := c.readDeadline
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return 0, nil, net.ErrClosed
+	}
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return 0, nil, timeoutError{}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case pkt, ok := <-c.queue:
+		if !ok {
+			return 0, nil, net.ErrClosed
+		}
+		n := copy(p, pkt.data)
+		return n, pkt.from, nil
+	case <-timeout:
+		return 0, nil, timeoutError{}
+	}
+}
+
+// Close shuts the endpoint; pending delayed deliveries to the peer are
+// drained before the queue closes.
+func (c *pipeConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	go func() {
+		c.wg.Wait()
+		close(c.queue)
+	}()
+	return nil
+}
+
+// LocalAddr returns the endpoint name.
+func (c *pipeConn) LocalAddr() net.Addr { return c.name }
+
+// SetDeadline sets the read deadline (writes never block).
+func (c *pipeConn) SetDeadline(t time.Time) error { return c.SetReadDeadline(t) }
+
+// SetReadDeadline sets the read deadline.
+func (c *pipeConn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.readDeadline = t
+	return nil
+}
+
+// SetWriteDeadline is a no-op: writes never block.
+func (c *pipeConn) SetWriteDeadline(time.Time) error { return nil }
+
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "lossy: i/o timeout" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// Conn wraps an existing PacketConn, injecting loss and delay on writes.
+// Reads pass through unchanged. Useful to impair one direction of a real
+// UDP exchange in demos.
+type Conn struct {
+	net.PacketConn
+
+	mu  sync.Mutex
+	cfg Config
+	rng *rand.Source
+	wg  sync.WaitGroup
+}
+
+// Wrap wraps conn with impairments.
+func Wrap(conn net.PacketConn, cfg Config) (*Conn, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0xfeedface
+	}
+	return &Conn{PacketConn: conn, cfg: cfg, rng: rand.NewSource(seed)}, nil
+}
+
+// WriteTo drops or delays the datagram before handing it to the wrapped
+// conn. Delayed writes are best-effort: an error after the delay is
+// unreportable, exactly as a network drop would be.
+func (c *Conn) WriteTo(p []byte, to net.Addr) (int, error) {
+	c.mu.Lock()
+	drop := c.rng.Bernoulli(c.cfg.Loss)
+	var delay time.Duration
+	if c.cfg.Delay > 0 {
+		jit := c.cfg.Jitter.Seconds()
+		d := c.cfg.Delay.Seconds()
+		if jit > 0 {
+			d = d - jit + c.rng.Float64()*2*jit
+		}
+		delay = time.Duration(d * float64(time.Second))
+	}
+	c.mu.Unlock()
+	if drop {
+		return len(p), nil
+	}
+	if delay <= 0 {
+		return c.PacketConn.WriteTo(p, to)
+	}
+	data := make([]byte, len(p))
+	copy(data, p)
+	c.wg.Add(1)
+	time.AfterFunc(delay, func() {
+		defer c.wg.Done()
+		_, _ = c.PacketConn.WriteTo(data, to)
+	})
+	return len(p), nil
+}
+
+// Close waits for delayed writes, then closes the wrapped conn.
+func (c *Conn) Close() error {
+	c.wg.Wait()
+	return c.PacketConn.Close()
+}

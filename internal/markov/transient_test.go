@@ -1,0 +1,176 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTransientTwoStateClosedForm checks uniformization against the exact
+// solution of the two-state chain a ⇄ b with rates λ, μ:
+//
+//	P(in b at t | start a) = λ/(λ+μ)·(1 − e^{−(λ+μ)t}).
+func TestTransientTwoStateClosedForm(t *testing.T) {
+	lambda, mu := 2.0, 3.0
+	c, a, b := twoState(lambda, mu)
+	for _, tt := range []float64{0, 0.01, 0.1, 0.5, 1, 5} {
+		p, err := c.TransientAt(c.UnitDistribution(a), tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := lambda / (lambda + mu) * (1 - math.Exp(-(lambda+mu)*tt))
+		if math.Abs(p[b]-want) > 1e-9 {
+			t.Fatalf("t=%v: P(b) = %v, want %v", tt, p[b], want)
+		}
+	}
+}
+
+func TestTransientPureDecay(t *testing.T) {
+	// a → z at rate r: P(still in a at t) = e^{−rt}.
+	c := NewChain()
+	a, z := c.State("a"), c.State("z")
+	r := 1.7
+	c.AddTransition(a, z, r)
+	p, err := c.TransientAt(c.UnitDistribution(a), 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Exp(-r * 2); math.Abs(p[a]-want) > 1e-9 {
+		t.Fatalf("P(a) = %v, want %v", p[a], want)
+	}
+}
+
+func TestTransientZeroTime(t *testing.T) {
+	c, a, b := twoState(1, 1)
+	p, err := c.TransientAt(c.UnitDistribution(a), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[a] != 1 || p[b] != 0 {
+		t.Fatalf("p(0) = %v", p)
+	}
+}
+
+func TestTransientConvergesToStationary(t *testing.T) {
+	c := NewChain()
+	s := []StateID{c.State("0"), c.State("1"), c.State("2")}
+	c.AddTransition(s[0], s[1], 1.2)
+	c.AddTransition(s[1], s[0], 0.3)
+	c.AddTransition(s[1], s[2], 2.5)
+	c.AddTransition(s[2], s[0], 0.8)
+	pi, err := c.StationaryDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.TransientAt(c.UnitDistribution(s[0]), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if math.Abs(p[i]-pi[i]) > 1e-8 {
+			t.Fatalf("p(∞)[%d] = %v, stationary %v", i, p[i], pi[i])
+		}
+	}
+}
+
+func TestTransientAbsorbingChain(t *testing.T) {
+	// a → b → z, rates 1; P(absorbed by t) follows the Erlang-2 CDF.
+	c := NewChain()
+	a, b, z := c.State("a"), c.State("b"), c.State("z")
+	c.AddTransition(a, b, 1)
+	c.AddTransition(b, z, 1)
+	for _, tt := range []float64{0.5, 1, 2, 4} {
+		p, err := c.TransientAt(c.UnitDistribution(a), tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - math.Exp(-tt)*(1+tt) // Erlang-2 CDF
+		if math.Abs(p[z]-want) > 1e-9 {
+			t.Fatalf("t=%v: P(z) = %v, want %v", tt, p[z], want)
+		}
+	}
+}
+
+func TestTransientInputValidation(t *testing.T) {
+	c, a, _ := twoState(1, 1)
+	if _, err := c.TransientAt([]float64{1}, 1); err == nil {
+		t.Fatal("wrong-length p0 accepted")
+	}
+	if _, err := c.TransientAt(c.UnitDistribution(a), -1); err == nil {
+		t.Fatal("negative time accepted")
+	}
+	if _, err := c.TransientAt([]float64{0.5, 0.4}, 1); err == nil {
+		t.Fatal("non-normalized p0 accepted")
+	}
+	if _, err := c.TransientAt([]float64{1.5, -0.5}, 1); err == nil {
+		t.Fatal("negative p0 entry accepted")
+	}
+}
+
+func TestTransientNoTransitions(t *testing.T) {
+	c := NewChain()
+	a := c.State("a")
+	c.State("b")
+	p, err := c.TransientAt(c.UnitDistribution(a), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[a] != 1 {
+		t.Fatalf("rateless chain moved: %v", p)
+	}
+}
+
+func TestTransientPropertyProbabilityVector(t *testing.T) {
+	// Property: for random chains and times, the result is a probability
+	// vector and mass in any absorbing state is non-decreasing in t.
+	prop := func(seed int64) bool {
+		rng := newTestRng(seed)
+		n := int(rng()*8) + 2
+		c := NewChain()
+		ids := make([]StateID, n)
+		for i := range ids {
+			ids[i] = c.State(string(rune('A' + i)))
+		}
+		for i := 0; i < n-1; i++ {
+			c.AddTransition(ids[i], ids[i+1], 0.2+rng()*5)
+			if rng() > 0.5 && i > 0 {
+				c.AddTransition(ids[i], ids[i-1], 0.2+rng()*5)
+			}
+		}
+		// ids[n-1] is absorbing.
+		prevAbs := -1.0
+		for _, tt := range []float64{0.1, 1, 10} {
+			p, err := c.TransientAt(c.UnitDistribution(ids[0]), tt)
+			if err != nil {
+				return false
+			}
+			var sum float64
+			for _, v := range p {
+				if v < -1e-12 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+			if p[ids[n-1]] < prevAbs-1e-9 {
+				return false
+			}
+			prevAbs = p[ids[n-1]]
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestRng returns a tiny deterministic float stream in [0,1).
+func newTestRng(seed int64) func() float64 {
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	return func() float64 {
+		s = s*6364136223846793005 + 1442695040888963407
+		return float64(s>>11) / (1 << 53)
+	}
+}

@@ -1,0 +1,116 @@
+package multihop
+
+import (
+	"fmt"
+	"math"
+
+	"softstate/internal/singlehop"
+)
+
+// Metrics are the multi-hop evaluation outputs.
+type Metrics struct {
+	// Inconsistency is I = 1 − π(N,0) (eq. 12): the fraction of time at
+	// least one hop disagrees with the sender.
+	Inconsistency float64
+	// PerHop[k] is the fraction of time hop k+1 is inconsistent
+	// (Figure 17): hop k+1 is consistent exactly in states with i ≥ k+1.
+	PerHop []float64
+	// MsgRate is the mean signaling message rate summed over every link
+	// of the path (eqs. 13–17).
+	MsgRate float64
+	// RecoveryRate is the rate of hard-state recovery episodes (entries
+	// into F); zero for the soft protocols.
+	RecoveryRate float64
+}
+
+// Solve computes the stationary distribution and the paper's metrics.
+func (m *Model) Solve() (Metrics, error) {
+	pi, err := m.chain.StationaryDistribution()
+	if err != nil {
+		return Metrics{}, fmt.Errorf("multihop: %v stationary analysis: %w", m.Proto, err)
+	}
+	p := m.Params
+	n := p.Hops
+
+	met := Metrics{
+		Inconsistency: 1 - pi[m.fast[n]],
+		PerHop:        make([]float64, n),
+	}
+
+	// Per-hop inconsistency: hop k (1-based) is consistent in (i,s) iff
+	// i ≥ k; the recovery state F is inconsistent for every hop.
+	for k := 1; k <= n; k++ {
+		consistent := 0.0
+		for i := k; i <= n; i++ {
+			consistent += pi[m.fast[i]]
+		}
+		for i := k; i < n; i++ {
+			consistent += pi[m.slow[i]]
+		}
+		met.PerHop[k-1] = 1 - consistent
+	}
+
+	// Message accounting. πfastFlight is the probability a trigger is in
+	// flight (one transmission per D while it lasts); πslow is the total
+	// slow-path mass (retransmissions at 1/Γ where applicable).
+	var fastFlight, slowMass float64
+	for i := 0; i < n; i++ {
+		fastFlight += pi[m.fast[i]]
+		slowMass += pi[m.slow[i]]
+	}
+
+	triggers := fastFlight / p.Delay
+	refreshes := m.refreshTransmissions()
+	retx := slowMass / p.Retransmit
+	// Hop-by-hop reliability: one ACK per delivered transmission.
+	acks := (1-p.Loss)/p.Delay*fastFlight + (1-p.Loss)/p.Retransmit*slowMass
+
+	switch m.Proto {
+	case singlehop.SS:
+		met.MsgRate = triggers + refreshes
+	case singlehop.SSRT:
+		met.MsgRate = triggers + refreshes + retx + acks
+	case singlehop.HS:
+		met.MsgRate = triggers + retx + acks
+		if m.hasF {
+			// Each recovery episode floods the path twice: the failure
+			// notification sweep to the sender and peers, then the flush
+			// of orphaned state — ≈2N messages per episode (documented
+			// approximation; the paper's eq. 17 recovery term is not
+			// legible in the scan).
+			met.RecoveryRate = float64(n) * p.FalseRemoval * (1 - pi[m.fault])
+			met.MsgRate += met.RecoveryRate * 2 * float64(n)
+		}
+	}
+	return met, nil
+}
+
+// refreshTransmissions is the refresh term of eqs. 13–16: refreshes leave
+// the sender at rate 1/R and each crosses E_h links in expectation, where
+// E_h = (1 − (1−pl)^N)/pl (eqs. 14–15) accounts for early loss.
+func (m *Model) refreshTransmissions() float64 {
+	if m.Proto == singlehop.HS {
+		return 0
+	}
+	return m.Params.ExpectedRelayHops() / m.Params.Refresh
+}
+
+// ExpectedRelayHops returns E_h, the expected number of link transmissions
+// consumed by one best-effort end-to-end message on the N-hop path:
+// Σ_{k=1..N} (1−pl)^(k−1) = (1 − (1−pl)^N)/pl, degenerating to N when the
+// path is lossless.
+func (p Params) ExpectedRelayHops() float64 {
+	if p.Loss == 0 {
+		return float64(p.Hops)
+	}
+	return (1 - math.Pow(1-p.Loss, float64(p.Hops))) / p.Loss
+}
+
+// Analyze builds and solves the model for proto at p.
+func Analyze(proto singlehop.Protocol, p Params) (Metrics, error) {
+	m, err := Build(proto, p)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return m.Solve()
+}

@@ -1,0 +1,151 @@
+// Package netsim models the paper's signaling channel on top of the des
+// kernel: a unidirectional link that "can delay and lose, but not reorder,
+// messages" (paper §III). Losses are independent Bernoulli trials with
+// parameter pl; delays are drawn from a configurable distribution
+// (exponential with mean D in the analytic model); FIFO order is enforced
+// by clamping each delivery to occur no earlier than the previously
+// scheduled one.
+package netsim
+
+import (
+	"fmt"
+
+	"softstate/internal/des"
+	"softstate/internal/rand"
+)
+
+// Counters aggregates link activity. Transmissions = Delivered + Lost.
+type Counters struct {
+	Transmissions int
+	Delivered     int
+	Lost          int
+}
+
+// Link is a unidirectional lossy channel. Create with NewLink.
+type Link struct {
+	kernel *des.Kernel
+	rng    *rand.Source
+
+	loss  float64
+	delay rand.Timer
+	fifo  bool
+
+	lastDelivery float64
+	counters     Counters
+}
+
+// Config parameterizes a link.
+type Config struct {
+	// Loss is the per-message loss probability pl ∈ [0,1].
+	Loss float64
+	// Delay is the one-way delay distribution (mean D).
+	Delay rand.Timer
+	// AllowReorder disables the FIFO clamp; the paper's model forbids
+	// reordering, so this exists only for the reordering ablation.
+	AllowReorder bool
+}
+
+// NewLink creates a link bound to kernel k using random stream rng.
+func NewLink(k *des.Kernel, rng *rand.Source, cfg Config) *Link {
+	if k == nil || rng == nil {
+		panic("netsim: nil kernel or rng")
+	}
+	if cfg.Loss < 0 || cfg.Loss > 1 {
+		panic(fmt.Sprintf("netsim: loss probability %v out of [0,1]", cfg.Loss))
+	}
+	return &Link{
+		kernel: k,
+		rng:    rng,
+		loss:   cfg.Loss,
+		delay:  cfg.Delay,
+		fifo:   !cfg.AllowReorder,
+	}
+}
+
+// Send transmits one message. If the message survives the loss trial,
+// deliver runs after the sampled channel delay (never before any earlier
+// delivery when FIFO). Send reports whether the message was lost, which
+// the simulator's loss-ablation instrumentation inspects; protocol logic
+// must not look at it (a real sender cannot observe loss).
+func (l *Link) Send(deliver func()) (lost bool) {
+	if deliver == nil {
+		panic("netsim: nil deliver callback")
+	}
+	l.counters.Transmissions++
+	if l.rng.Bernoulli(l.loss) {
+		l.counters.Lost++
+		return true
+	}
+	at := l.kernel.Now() + l.delay.Sample(l.rng)
+	if l.fifo && at < l.lastDelivery {
+		at = l.lastDelivery
+	}
+	l.lastDelivery = at
+	l.kernel.At(at, func() {
+		l.counters.Delivered++
+		deliver()
+	})
+	return false
+}
+
+// Counters returns a snapshot of the link statistics.
+func (l *Link) Counters() Counters { return l.counters }
+
+// Pair is a bidirectional channel between two endpoints, built from two
+// independent links that share loss/delay parameters (the paper treats the
+// sender→receiver and receiver→sender directions symmetrically for ACK and
+// notification traffic).
+type Pair struct {
+	Forward *Link // sender → receiver
+	Reverse *Link // receiver → sender
+}
+
+// NewPair creates a bidirectional channel; each direction gets its own
+// split of rng so forward traffic does not perturb reverse draws.
+func NewPair(k *des.Kernel, rng *rand.Source, cfg Config) *Pair {
+	return &Pair{
+		Forward: NewLink(k, rng.Split(), cfg),
+		Reverse: NewLink(k, rng.Split(), cfg),
+	}
+}
+
+// Totals sums the counters of both directions.
+func (p *Pair) Totals() Counters {
+	f, r := p.Forward.Counters(), p.Reverse.Counters()
+	return Counters{
+		Transmissions: f.Transmissions + r.Transmissions,
+		Delivered:     f.Delivered + r.Delivered,
+		Lost:          f.Lost + r.Lost,
+	}
+}
+
+// Path is a chain of bidirectional hops used by the multi-hop simulator
+// (paper §III-B, Fig 13): Hops[i] connects node i to node i+1.
+type Path struct {
+	Hops []*Pair
+}
+
+// NewPath builds an n-hop path with homogeneous hop parameters, matching
+// the paper's assumption of identical per-hop loss and delay.
+func NewPath(k *des.Kernel, rng *rand.Source, n int, cfg Config) *Path {
+	if n <= 0 {
+		panic(fmt.Sprintf("netsim: path length %d must be positive", n))
+	}
+	hops := make([]*Pair, n)
+	for i := range hops {
+		hops[i] = NewPair(k, rng, cfg)
+	}
+	return &Path{Hops: hops}
+}
+
+// Totals sums counters over every hop and direction.
+func (p *Path) Totals() Counters {
+	var c Counters
+	for _, h := range p.Hops {
+		t := h.Totals()
+		c.Transmissions += t.Transmissions
+		c.Delivered += t.Delivered
+		c.Lost += t.Lost
+	}
+	return c
+}

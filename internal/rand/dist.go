@@ -1,0 +1,53 @@
+package rand
+
+import "fmt"
+
+// TimerKind selects the distribution family for protocol timers and the
+// channel delay in the simulator.
+type TimerKind int
+
+const (
+	// Exponential timers match the analytic model's assumptions.
+	Exponential TimerKind = iota
+	// Deterministic timers fire exactly at their mean, as deployed
+	// protocols do; used to reproduce the paper's Figs 11–12.
+	Deterministic
+	// UniformJitter fires uniformly in [0.5·mean, 1.5·mean]; used by the
+	// timer-distribution ablation, which extends the paper's comparison.
+	UniformJitter
+)
+
+// String implements fmt.Stringer.
+func (k TimerKind) String() string {
+	switch k {
+	case Exponential:
+		return "exponential"
+	case Deterministic:
+		return "deterministic"
+	case UniformJitter:
+		return "uniform-jitter"
+	default:
+		return fmt.Sprintf("TimerKind(%d)", int(k))
+	}
+}
+
+// Timer draws durations with the given mean from the selected family.
+type Timer struct {
+	Kind TimerKind
+	Mean float64
+}
+
+// Sample draws one duration using stream s. Deterministic timers ignore s.
+func (t Timer) Sample(s *Source) float64 {
+	switch t.Kind {
+	case Deterministic:
+		return t.Mean
+	case UniformJitter:
+		if t.Mean <= 0 {
+			return 0
+		}
+		return s.Uniform(0.5*t.Mean, 1.5*t.Mean)
+	default:
+		return s.Exp(t.Mean)
+	}
+}

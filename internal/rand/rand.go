@@ -1,0 +1,85 @@
+// Package rand provides deterministic, splittable random streams and the
+// distributions used by the signaling simulator: uniform, Bernoulli,
+// exponential, and a generic timer-distribution abstraction that lets the
+// simulator switch between the analytic model's exponential timers and the
+// deterministic timers real protocols deploy (paper §III-A.3, Figs 11–12).
+//
+// The generator is SplitMix64 (Steele et al.), chosen over math/rand for
+// two properties the experiment harness needs: cheap value-type streams
+// that can be stored inside simulation entities, and stable cross-version
+// output so recorded experiment series remain reproducible.
+package rand
+
+import "math"
+
+// Source is a deterministic 64-bit random stream. The zero value is a
+// valid stream seeded with 0; prefer NewSource for explicit seeding.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a stream seeded with seed.
+func NewSource(seed uint64) *Source {
+	return &Source{state: seed}
+}
+
+// Split derives an independent stream from s. The derivation consumes one
+// value from s, so sibling splits differ. Used to give each simulated
+// entity (channel, timer, workload) its own stream so that changing one
+// entity's draw count does not perturb the others.
+func (s *Source) Split() *Source {
+	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 random bits (SplitMix64).
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rand: Intn with non-positive n")
+	}
+	return int(s.Uint64() % uint64(n))
+}
+
+// Bernoulli returns true with probability p. Probabilities outside [0,1]
+// are clamped, which lets callers pass computed loss rates directly.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// A non-positive mean returns 0, which callers use to encode "immediate".
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	u := s.Float64()
+	// 1-u is in (0,1], keeping Log finite.
+	return -mean * math.Log(1-u)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	return lo + (hi-lo)*s.Float64()
+}

@@ -1,0 +1,239 @@
+package rand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewSource(99), NewSource(99)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := NewSource(1), NewSource(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	s := NewSource(7)
+	c1 := s.Split()
+	c2 := s.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("sibling splits produced identical first values")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := NewSource(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := NewSource(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := NewSource(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := s.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) covered %d values, want 7", len(seen))
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewSource(1).Intn(0)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := NewSource(2)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if s.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !s.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	s := NewSource(13)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	f := float64(hits) / n
+	if math.Abs(f-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %v", f)
+	}
+}
+
+func TestExpMoments(t *testing.T) {
+	s := NewSource(17)
+	const n = 200000
+	const mean = 2.5
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	variance := sumSq/n - m*m
+	if math.Abs(m-mean) > 0.05 {
+		t.Fatalf("Exp mean = %v, want %v", m, mean)
+	}
+	if math.Abs(variance-mean*mean) > 0.3 {
+		t.Fatalf("Exp variance = %v, want %v", variance, mean*mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	s := NewSource(1)
+	if s.Exp(0) != 0 || s.Exp(-1) != 0 {
+		t.Fatal("Exp with non-positive mean should be 0")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := NewSource(23)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v", v)
+		}
+	}
+	// Swapped bounds are tolerated.
+	v := s.Uniform(5, 2)
+	if v < 2 || v >= 5 {
+		t.Fatalf("Uniform(5,2) = %v", v)
+	}
+}
+
+func TestTimerDeterministic(t *testing.T) {
+	s := NewSource(1)
+	tm := Timer{Kind: Deterministic, Mean: 3.5}
+	for i := 0; i < 10; i++ {
+		if got := tm.Sample(s); got != 3.5 {
+			t.Fatalf("deterministic timer = %v, want 3.5", got)
+		}
+	}
+}
+
+func TestTimerExponentialMean(t *testing.T) {
+	s := NewSource(29)
+	tm := Timer{Kind: Exponential, Mean: 4}
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += tm.Sample(s)
+	}
+	if m := sum / n; math.Abs(m-4) > 0.1 {
+		t.Fatalf("exponential timer mean = %v, want 4", m)
+	}
+}
+
+func TestTimerUniformJitterRange(t *testing.T) {
+	s := NewSource(31)
+	tm := Timer{Kind: UniformJitter, Mean: 10}
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := tm.Sample(s)
+		if v < 5 || v >= 15 {
+			t.Fatalf("jitter timer = %v out of [5,15)", v)
+		}
+		sum += v
+	}
+	if m := sum / n; math.Abs(m-10) > 0.1 {
+		t.Fatalf("jitter timer mean = %v, want 10", m)
+	}
+	if z := (Timer{Kind: UniformJitter, Mean: 0}).Sample(s); z != 0 {
+		t.Fatalf("zero-mean jitter timer = %v, want 0", z)
+	}
+}
+
+func TestTimerKindString(t *testing.T) {
+	cases := map[TimerKind]string{
+		Exponential:   "exponential",
+		Deterministic: "deterministic",
+		UniformJitter: "uniform-jitter",
+		TimerKind(42): "TimerKind(42)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("String(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestFloat64PropertyNoRepeats(t *testing.T) {
+	// Weak property: consecutive values from one stream are rarely equal.
+	prop := func(seed uint64) bool {
+		s := NewSource(seed)
+		prev := s.Float64()
+		for i := 0; i < 50; i++ {
+			v := s.Float64()
+			if v == prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

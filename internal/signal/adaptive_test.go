@@ -1,0 +1,77 @@
+package signal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"softstate/internal/lossy"
+)
+
+// TestAdaptiveRefreshBoundsAggregateRate: with many keys and a rate bound,
+// the stretched per-key interval keeps total refresh traffic near the cap
+// (Sharma et al. scalable timers).
+func TestAdaptiveRefreshBoundsAggregateRate(t *testing.T) {
+	a, b, err := lossy.Pipe(lossy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := Config{
+		Protocol:        SS,
+		RefreshInterval: 5 * time.Millisecond, // would be 2000 refreshes/s with 10 keys
+		Timeout:         10 * time.Second,     // keep receiver-side out of the picture
+		MaxRefreshRate:  100,                  // cap: 100 refreshes/s aggregate
+	}
+	snd, err := NewSender(a, b.LocalAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	const keys = 10
+	for i := 0; i < keys; i++ {
+		if err := snd.Install(fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const window = 500 * time.Millisecond
+	time.Sleep(window)
+	sent := snd.Stats().Sent["refresh"]
+	// Expected ≈ cap·window = 50; unbounded would be ≈1000. Allow slack.
+	if sent > 120 {
+		t.Fatalf("refresh cap violated: %d refreshes in %v (cap 100/s)", sent, window)
+	}
+	if sent < 10 {
+		t.Fatalf("refreshes nearly stopped: %d in %v", sent, window)
+	}
+}
+
+// TestAdaptiveRefreshInactiveBelowThreshold: with few keys the configured
+// interval applies unchanged.
+func TestAdaptiveRefreshInactiveBelowThreshold(t *testing.T) {
+	a, b, err := lossy.Pipe(lossy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := Config{
+		Protocol:        SS,
+		RefreshInterval: 20 * time.Millisecond,
+		Timeout:         10 * time.Second,
+		MaxRefreshRate:  1000, // threshold = 1000·0.02 = 20 keys; we use 1
+	}
+	snd, err := NewSender(a, b.LocalAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	if err := snd.Install("solo", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	sent := snd.Stats().Sent["refresh"]
+	// ≈15 expected at 50/s; the stretch must not have kicked in.
+	if sent < 8 {
+		t.Fatalf("refresh interval stretched without cause: %d refreshes", sent)
+	}
+}

@@ -1,0 +1,8 @@
+package signal
+
+import "softstate/internal/wire"
+
+// wireTrigger builds a raw trigger message for replay tests.
+func wireTrigger(seq uint64, key string, value []byte) wire.Message {
+	return wire.Message{Type: wire.TypeTrigger, Seq: seq, Key: key, Value: value}
+}

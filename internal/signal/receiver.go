@@ -1,0 +1,255 @@
+package signal
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"softstate/internal/wire"
+)
+
+// Receiver holds signaling state installed by remote Senders. One Receiver
+// can serve many senders and keys; replies (ACKs, notifications) go to the
+// source address of the triggering datagram. All methods are safe for
+// concurrent use.
+type Receiver struct {
+	conn net.PacketConn
+	cfg  Config
+
+	mu      sync.Mutex
+	entries map[string]*receiverEntry
+	stats   Stats
+	closed  bool
+
+	events chan Event
+	wg     sync.WaitGroup
+}
+
+// receiverEntry is one installed piece of state.
+type receiverEntry struct {
+	value   []byte
+	lastSeq uint64
+	peer    net.Addr
+	timeout *time.Timer
+}
+
+// NewReceiver creates a receiver speaking cfg.Protocol on conn and starts
+// its receive loop.
+func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
+	if conn == nil {
+		return nil, errors.New("signal: nil conn")
+	}
+	cfg = cfg.withDefaults()
+	r := &Receiver{
+		conn:    conn,
+		cfg:     cfg,
+		entries: make(map[string]*receiverEntry),
+		stats:   newStats(),
+		events:  make(chan Event, cfg.EventBuffer),
+	}
+	r.wg.Add(1)
+	go r.readLoop()
+	return r, nil
+}
+
+// Events exposes the observability stream; closed on Close.
+func (r *Receiver) Events() <-chan Event { return r.events }
+
+// Stats returns a snapshot of message counters.
+func (r *Receiver) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats.clone()
+}
+
+// Get returns the installed value for key.
+func (r *Receiver) Get(key string) ([]byte, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, true
+}
+
+// Len returns the number of installed keys.
+func (r *Receiver) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// Keys returns the installed keys.
+func (r *Receiver) Keys() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for k := range r.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
+// InjectFalseRemoval simulates the hard-state external failure signal
+// firing falsely for key: the state is removed and the owning sender is
+// notified so it can repair (paper §II, HS false notification). It reports
+// whether the key existed.
+func (r *Receiver) InjectFalseRemoval(key string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[key]
+	if !ok || r.closed {
+		return false
+	}
+	r.dropLocked(key, e, EventFalseRemoval)
+	r.sendLocked(wire.Message{Type: wire.TypeNotify, Key: key}, e.peer)
+	return true
+}
+
+// Close stops all timers, closes the transport, and drains the loop.
+func (r *Receiver) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for _, e := range r.entries {
+		stopTimer(&e.timeout)
+	}
+	r.mu.Unlock()
+	err := r.conn.Close()
+	r.wg.Wait()
+	close(r.events)
+	return err
+}
+
+func (r *Receiver) readLoop() {
+	defer r.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := r.conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		var m wire.Message
+		if derr := m.UnmarshalBinary(buf[:n]); derr != nil {
+			r.mu.Lock()
+			r.stats.DecodeErrors++
+			r.mu.Unlock()
+			continue
+		}
+		r.handle(m, from)
+	}
+}
+
+func (r *Receiver) handle(m wire.Message, from net.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.stats.Received[m.Type.String()]++
+	switch m.Type {
+	case wire.TypeTrigger, wire.TypeRefresh:
+		e, ok := r.entries[m.Key]
+		if !ok {
+			e = &receiverEntry{}
+			r.entries[m.Key] = e
+			r.emitLocked(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq})
+		} else if m.Seq >= e.lastSeq && !bytesEqual(e.value, m.Value) {
+			r.emitLocked(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq})
+		}
+		// Accept only non-stale payloads: a retransmitted old trigger must
+		// not clobber a newer value (sequence numbers are sender-global
+		// and monotone).
+		if m.Seq >= e.lastSeq {
+			e.lastSeq = m.Seq
+			e.value = m.Value
+			e.peer = from
+		}
+		r.armTimeoutLocked(m.Key, e)
+		if m.Type == wire.TypeTrigger && r.cfg.Protocol.ReliableTrigger() {
+			r.sendLocked(wire.Message{Type: wire.TypeAck, Seq: m.Seq, Key: m.Key}, from)
+		}
+	case wire.TypeRemoval:
+		if e, ok := r.entries[m.Key]; ok && m.Seq >= e.lastSeq {
+			r.dropLocked(m.Key, e, EventRemoved)
+		}
+		// ACK removals even for unknown keys: the state may have timed out
+		// while the sender kept retransmitting.
+		if r.cfg.Protocol.ReliableRemoval() {
+			r.sendLocked(wire.Message{Type: wire.TypeRemovalAck, Seq: m.Seq, Key: m.Key}, from)
+		}
+	}
+}
+
+func (r *Receiver) armTimeoutLocked(key string, e *receiverEntry) {
+	if !r.cfg.Protocol.Refreshes() {
+		return // hard state never times out
+	}
+	stopTimer(&e.timeout)
+	e.timeout = time.AfterFunc(r.cfg.Timeout, func() { r.onTimeout(key) })
+}
+
+func (r *Receiver) onTimeout(key string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	e, ok := r.entries[key]
+	if !ok {
+		return
+	}
+	peer := e.peer
+	r.dropLocked(key, e, EventExpired)
+	// SS+RT and SS+RTR notify the sender of timeout removals so false
+	// removals are repaired promptly.
+	if r.cfg.Protocol.ReliableTrigger() && r.cfg.Protocol != HS {
+		r.sendLocked(wire.Message{Type: wire.TypeNotify, Key: key}, peer)
+	}
+}
+
+// dropLocked removes an entry and emits the given event.
+func (r *Receiver) dropLocked(key string, e *receiverEntry, kind EventKind) {
+	stopTimer(&e.timeout)
+	delete(r.entries, key)
+	r.emitLocked(Event{Kind: kind, Key: key, Value: e.value})
+}
+
+func (r *Receiver) sendLocked(m wire.Message, to net.Addr) {
+	if to == nil {
+		return
+	}
+	data, err := m.Append(nil)
+	if err != nil {
+		return
+	}
+	if _, err := r.conn.WriteTo(data, to); err == nil {
+		r.stats.Sent[m.Type.String()]++
+	}
+}
+
+func (r *Receiver) emitLocked(ev Event) {
+	select {
+	case r.events <- ev:
+	default:
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

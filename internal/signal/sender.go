@@ -1,0 +1,386 @@
+package signal
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"softstate/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("signal: endpoint closed")
+
+// Sender installs and maintains keyed state at a remote Receiver.
+// All methods are safe for concurrent use.
+type Sender struct {
+	conn net.PacketConn
+	peer net.Addr
+	cfg  Config
+
+	mu      sync.Mutex
+	entries map[string]*senderEntry
+	seq     uint64
+	stats   Stats
+	closed  bool
+
+	events chan Event
+	wg     sync.WaitGroup
+}
+
+// senderEntry tracks one key's signaling state at the sender.
+type senderEntry struct {
+	value    []byte
+	seq      uint64 // latest trigger sequence
+	ackedSeq uint64
+	retries  int
+
+	removing   bool // removal sent, awaiting removal-ack
+	removalSeq uint64
+
+	refresh *time.Timer
+	retx    *time.Timer
+}
+
+// NewSender creates a sender speaking cfg.Protocol to peer over conn and
+// starts its receive loop (for ACKs and notifications).
+func NewSender(conn net.PacketConn, peer net.Addr, cfg Config) (*Sender, error) {
+	if conn == nil || peer == nil {
+		return nil, errors.New("signal: nil conn or peer")
+	}
+	cfg = cfg.withDefaults()
+	s := &Sender{
+		conn:    conn,
+		peer:    peer,
+		cfg:     cfg,
+		entries: make(map[string]*senderEntry),
+		stats:   newStats(),
+		events:  make(chan Event, cfg.EventBuffer),
+	}
+	s.wg.Add(1)
+	go s.readLoop()
+	return s, nil
+}
+
+// Events exposes the observability stream. The channel closes when the
+// sender is closed.
+func (s *Sender) Events() <-chan Event { return s.events }
+
+// Stats returns a snapshot of message counters.
+func (s *Sender) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.clone()
+}
+
+// Install installs (or reinstalls) state for key at the receiver.
+func (s *Sender) Install(key string, value []byte) error {
+	return s.put(key, value, EventInstalled)
+}
+
+// Update changes the state value for key; it is an error to update a key
+// that was never installed or is being removed.
+func (s *Sender) Update(key string, value []byte) error {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok && e.removing {
+		ok = false
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("signal: update of unknown key %q", key)
+	}
+	return s.put(key, value, EventUpdated)
+}
+
+func (s *Sender) put(key string, value []byte, kind EventKind) error {
+	if len(key) > wire.MaxKeyLen || len(value) > wire.MaxValueLen {
+		return wire.ErrTooLarge
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	e, ok := s.entries[key]
+	if !ok || e.removing {
+		e = &senderEntry{}
+		s.entries[key] = e
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	e.value = v
+	e.removing = false
+	e.retries = 0
+	s.seq++
+	e.seq = s.seq
+	s.sendLocked(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
+	s.armTriggerRetxLocked(key, e)
+	s.armRefreshLocked(key, e)
+	s.emitLocked(Event{Kind: kind, Key: key, Value: e.value, Seq: e.seq})
+	s.mu.Unlock()
+	return nil
+}
+
+// Remove withdraws the state for key. With explicit-removal protocols a
+// removal message is sent (reliably for SS+RTR and HS); otherwise the
+// receiver is left to time the state out.
+func (s *Sender) Remove(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	e, ok := s.entries[key]
+	if !ok || e.removing {
+		return fmt.Errorf("signal: remove of unknown key %q", key)
+	}
+	stopTimer(&e.refresh)
+	stopTimer(&e.retx)
+	if !s.cfg.Protocol.ExplicitRemoval() {
+		delete(s.entries, key)
+		s.emitLocked(Event{Kind: EventRemoved, Key: key})
+		return nil
+	}
+	s.seq++
+	e.removing = true
+	e.removalSeq = s.seq
+	e.retries = 0
+	e.value = nil
+	s.sendLocked(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key})
+	if s.cfg.Protocol.ReliableRemoval() {
+		s.armRemovalRetxLocked(key, e)
+	} else {
+		delete(s.entries, key)
+		s.emitLocked(Event{Kind: EventRemoved, Key: key})
+	}
+	return nil
+}
+
+// Keys returns the keys with live (non-removing) state.
+func (s *Sender) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.entries))
+	for k, e := range s.entries {
+		if !e.removing {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Close stops all timers, closes the transport, and waits for the receive
+// loop to drain. The events channel is closed afterwards.
+func (s *Sender) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, e := range s.entries {
+		stopTimer(&e.refresh)
+		stopTimer(&e.retx)
+	}
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.wg.Wait()
+	close(s.events)
+	return err
+}
+
+// --- timers (all rearmed under s.mu) ---
+
+func stopTimer(t **time.Timer) {
+	if *t != nil {
+		(*t).Stop()
+		*t = nil
+	}
+}
+
+func (s *Sender) armRefreshLocked(key string, e *senderEntry) {
+	if !s.cfg.Protocol.Refreshes() {
+		return
+	}
+	stopTimer(&e.refresh)
+	e.refresh = time.AfterFunc(s.refreshIntervalLocked(), func() { s.onRefresh(key) })
+}
+
+// refreshIntervalLocked returns the per-key refresh interval, stretched
+// when an aggregate rate bound is configured (scalable timers): with n
+// live keys the aggregate rate is n/interval, so the interval grows to
+// n/MaxRefreshRate once n exceeds MaxRefreshRate·R.
+func (s *Sender) refreshIntervalLocked() time.Duration {
+	interval := s.cfg.RefreshInterval
+	if s.cfg.MaxRefreshRate <= 0 {
+		return interval
+	}
+	live := 0
+	for _, e := range s.entries {
+		if !e.removing {
+			live++
+		}
+	}
+	if min := time.Duration(float64(live) / s.cfg.MaxRefreshRate * float64(time.Second)); min > interval {
+		interval = min
+	}
+	return interval
+}
+
+func (s *Sender) onRefresh(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	e, ok := s.entries[key]
+	if !ok || e.removing {
+		return
+	}
+	s.sendLocked(wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: key, Value: e.value})
+	s.armRefreshLocked(key, e)
+}
+
+func (s *Sender) armTriggerRetxLocked(key string, e *senderEntry) {
+	if !s.cfg.Protocol.ReliableTrigger() {
+		return
+	}
+	stopTimer(&e.retx)
+	e.retx = time.AfterFunc(s.cfg.Retransmit, func() { s.onTriggerRetx(key) })
+}
+
+func (s *Sender) onTriggerRetx(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	e, ok := s.entries[key]
+	if !ok || e.removing || e.ackedSeq >= e.seq {
+		return
+	}
+	if s.cfg.MaxRetransmits > 0 && e.retries >= s.cfg.MaxRetransmits {
+		s.emitLocked(Event{Kind: EventGaveUp, Key: key, Seq: e.seq})
+		return
+	}
+	e.retries++
+	s.sendLocked(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
+	s.armTriggerRetxLocked(key, e)
+}
+
+func (s *Sender) armRemovalRetxLocked(key string, e *senderEntry) {
+	stopTimer(&e.retx)
+	e.retx = time.AfterFunc(s.cfg.Retransmit, func() { s.onRemovalRetx(key) })
+}
+
+func (s *Sender) onRemovalRetx(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	e, ok := s.entries[key]
+	if !ok || !e.removing {
+		return
+	}
+	if s.cfg.MaxRetransmits > 0 && e.retries >= s.cfg.MaxRetransmits {
+		delete(s.entries, key)
+		s.emitLocked(Event{Kind: EventGaveUp, Key: key, Seq: e.removalSeq})
+		return
+	}
+	e.retries++
+	s.sendLocked(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key})
+	s.armRemovalRetxLocked(key, e)
+}
+
+// --- inbound ---
+
+func (s *Sender) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		var m wire.Message
+		if derr := m.UnmarshalBinary(buf[:n]); derr != nil {
+			s.mu.Lock()
+			s.stats.DecodeErrors++
+			s.mu.Unlock()
+			continue
+		}
+		s.handle(m)
+	}
+}
+
+func (s *Sender) handle(m wire.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.stats.Received[m.Type.String()]++
+	e, ok := s.entries[m.Key]
+	switch m.Type {
+	case wire.TypeAck:
+		if !ok || e.removing {
+			return
+		}
+		if m.Seq > e.ackedSeq {
+			e.ackedSeq = m.Seq
+		}
+		if e.ackedSeq >= e.seq {
+			stopTimer(&e.retx)
+			e.retries = 0
+			s.emitLocked(Event{Kind: EventAcked, Key: m.Key, Seq: e.seq})
+		}
+	case wire.TypeRemovalAck:
+		if !ok || !e.removing || m.Seq < e.removalSeq {
+			return
+		}
+		stopTimer(&e.retx)
+		delete(s.entries, m.Key)
+		s.emitLocked(Event{Kind: EventRemoved, Key: m.Key})
+	case wire.TypeNotify:
+		// The receiver dropped our state (timeout or false signal);
+		// repair by re-triggering if we still own the key.
+		if !ok || e.removing {
+			return
+		}
+		s.seq++
+		e.seq = s.seq
+		e.retries = 0
+		s.sendLocked(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: m.Key, Value: e.value})
+		s.armTriggerRetxLocked(m.Key, e)
+		s.armRefreshLocked(m.Key, e)
+		s.emitLocked(Event{Kind: EventRepaired, Key: m.Key, Seq: e.seq})
+	}
+}
+
+// sendLocked encodes and transmits m; callers hold s.mu.
+func (s *Sender) sendLocked(m wire.Message) {
+	data, err := m.Append(nil)
+	if err != nil {
+		return
+	}
+	if _, err := s.conn.WriteTo(data, s.peer); err == nil || isNetTemporary(err) {
+		s.stats.Sent[m.Type.String()]++
+	}
+}
+
+// emitLocked delivers an event without ever blocking the protocol.
+func (s *Sender) emitLocked(ev Event) {
+	select {
+	case s.events <- ev:
+	default:
+	}
+}
+
+func isNetTemporary(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}

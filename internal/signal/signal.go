@@ -1,0 +1,178 @@
+// Package signal is a runnable implementation of the paper's five generic
+// signaling protocols over any net.PacketConn: a Sender that installs,
+// refreshes, updates, and removes keyed state at a remote Receiver, with
+// the mechanism set (refresh, state timeout, explicit removal, reliable
+// trigger/removal, removal notification) selected by the protocol.
+//
+// Unlike internal/sim, which runs in virtual time for experiments, this
+// package runs in real time with goroutines and time.Timer, making it
+// usable as an actual soft-state signaling library (IGMP-style membership,
+// RSVP-style reservations, P2P registrations) and as a live demonstration
+// of the paper's mechanisms over UDP (see examples/livewire).
+package signal
+
+import (
+	"time"
+
+	"softstate/internal/singlehop"
+)
+
+// Protocol aliases the paper's protocol identifiers.
+type Protocol = singlehop.Protocol
+
+// The five generic protocols.
+const (
+	SS    = singlehop.SS
+	SSER  = singlehop.SSER
+	SSRT  = singlehop.SSRT
+	SSRTR = singlehop.SSRTR
+	HS    = singlehop.HS
+)
+
+// Config carries the timer settings shared by both endpoint roles.
+type Config struct {
+	// Protocol selects the mechanism bundle.
+	Protocol Protocol
+	// RefreshInterval is the soft-state refresh timer R.
+	RefreshInterval time.Duration
+	// Timeout is the receiver's state-timeout timer T. The paper's
+	// guidance (Fig 8a) is T ≈ 3R.
+	Timeout time.Duration
+	// Retransmit is the retransmission timer Γ for reliable messages.
+	Retransmit time.Duration
+	// MaxRetransmits bounds retransmission attempts per message; 0 means
+	// retry forever (the paper's model). Bounding is an extension for
+	// deployments that must detect dead peers.
+	MaxRetransmits int
+	// MaxRefreshRate, when positive, bounds the sender's aggregate
+	// refresh traffic to this many refreshes per second by stretching the
+	// per-key refresh interval once the key count exceeds
+	// MaxRefreshRate·RefreshInterval — Sharma et al.'s "scalable timers
+	// for soft state protocols" (paper ref [16]). Receivers should size
+	// their Timeout for the stretched interval or run the same rule.
+	MaxRefreshRate float64
+	// EventBuffer sizes the observability channel (default 256). Events
+	// beyond a full buffer are dropped, never blocking the protocol.
+	EventBuffer int
+}
+
+// DefaultConfig returns the paper's deployed-protocol defaults: R = 5 s,
+// T = 3R, Γ = 120 ms (4× a 30 ms one-way delay).
+func DefaultConfig(proto Protocol) Config {
+	return Config{
+		Protocol:        proto,
+		RefreshInterval: 5 * time.Second,
+		Timeout:         15 * time.Second,
+		Retransmit:      120 * time.Millisecond,
+	}
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	d := DefaultConfig(c.Protocol)
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = d.RefreshInterval
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 3 * c.RefreshInterval
+	}
+	if c.Retransmit <= 0 {
+		c.Retransmit = d.Retransmit
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = 256
+	}
+	return c
+}
+
+// EventKind classifies runtime events.
+type EventKind int
+
+// Runtime event kinds.
+const (
+	// EventInstalled: state newly installed (receiver) or first sent
+	// (sender).
+	EventInstalled EventKind = iota
+	// EventUpdated: state value changed.
+	EventUpdated
+	// EventRemoved: state removed by explicit signaling.
+	EventRemoved
+	// EventExpired: receiver state removed by state-timeout.
+	EventExpired
+	// EventFalseRemoval: receiver state removed by an external signal
+	// (hard-state false removal injection).
+	EventFalseRemoval
+	// EventRepaired: sender re-installed state after a removal notice.
+	EventRepaired
+	// EventAcked: sender received the ACK for its latest trigger.
+	EventAcked
+	// EventGaveUp: retransmission limit reached.
+	EventGaveUp
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventInstalled:
+		return "installed"
+	case EventUpdated:
+		return "updated"
+	case EventRemoved:
+		return "removed"
+	case EventExpired:
+		return "expired"
+	case EventFalseRemoval:
+		return "false-removal"
+	case EventRepaired:
+		return "repaired"
+	case EventAcked:
+		return "acked"
+	case EventGaveUp:
+		return "gave-up"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observability record.
+type Event struct {
+	Kind  EventKind
+	Key   string
+	Value []byte
+	Seq   uint64
+}
+
+// Stats counts runtime message activity.
+type Stats struct {
+	// Sent counts datagrams written, by wire type name.
+	Sent map[string]int
+	// Received counts datagrams accepted, by wire type name.
+	Received map[string]int
+	// DecodeErrors counts datagrams rejected by the codec.
+	DecodeErrors int
+}
+
+func newStats() Stats {
+	return Stats{Sent: make(map[string]int), Received: make(map[string]int)}
+}
+
+func (s Stats) clone() Stats {
+	out := newStats()
+	for k, v := range s.Sent {
+		out.Sent[k] = v
+	}
+	for k, v := range s.Received {
+		out.Received[k] = v
+	}
+	out.DecodeErrors = s.DecodeErrors
+	return out
+}
+
+// TotalSent sums sent datagrams across types.
+func (s Stats) TotalSent() int {
+	n := 0
+	for _, v := range s.Sent {
+		n += v
+	}
+	return n
+}

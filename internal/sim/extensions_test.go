@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"softstate/internal/rand"
+	"softstate/internal/singlehop"
+)
+
+// lossyParams is a high-loss operating point where repair mechanisms
+// separate clearly.
+func lossyParams() singlehop.Params {
+	p := fastParams()
+	p.Loss = 0.2
+	return p
+}
+
+func runVariant(t *testing.T, mutate func(*Config)) Result {
+	t.Helper()
+	cfg := Config{
+		Protocol: singlehop.SS,
+		Params:   lossyParams(),
+		Sessions: 1200,
+		Seed:     0xabc,
+		Timers:   rand.Deterministic,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := RunSingleHop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestStagedRefreshImprovesConsistency(t *testing.T) {
+	plain := runVariant(t, nil)
+	staged := runVariant(t, func(c *Config) { c.StagedRefresh = true })
+	if !(staged.Inconsistency.Mean < plain.Inconsistency.Mean) {
+		t.Fatalf("staged refresh should improve I: plain=%v staged=%v",
+			plain.Inconsistency.Mean, staged.Inconsistency.Mean)
+	}
+	// Staged refresh costs extra messages (the early rapid refreshes).
+	if !(staged.MessagesPerSession.Mean > plain.MessagesPerSession.Mean) {
+		t.Fatalf("staged refresh should send more: plain=%v staged=%v",
+			plain.MessagesPerSession.Mean, staged.MessagesPerSession.Mean)
+	}
+}
+
+func TestNackOracleImprovesConsistency(t *testing.T) {
+	plain := runVariant(t, nil)
+	nack := runVariant(t, func(c *Config) { c.NackOracle = true })
+	if !(nack.Inconsistency.Mean < plain.Inconsistency.Mean) {
+		t.Fatalf("NACK oracle should improve I: plain=%v nack=%v",
+			plain.Inconsistency.Mean, nack.Inconsistency.Mean)
+	}
+}
+
+func TestNackOracleApproachesReliableTriggers(t *testing.T) {
+	// The oracle bounds what loss detection can achieve; SS+RT's
+	// timer-driven detection should land in the same regime (within ~3x)
+	// rather than orders of magnitude apart.
+	nack := runVariant(t, func(c *Config) { c.NackOracle = true })
+	ssrt := runVariant(t, func(c *Config) { c.Protocol = singlehop.SSRT })
+	hi, lo := nack.Inconsistency.Mean, ssrt.Inconsistency.Mean
+	if hi < lo {
+		hi, lo = lo, hi
+	}
+	if hi > 3*lo {
+		t.Fatalf("NACK oracle %v and SS+RT %v should be within 3x",
+			nack.Inconsistency.Mean, ssrt.Inconsistency.Mean)
+	}
+}
+
+func TestStagedRefreshBacksOff(t *testing.T) {
+	// The staged schedule must back off instead of flooding: the ladder
+	// Γ, 2Γ, … , R costs ⌈log₂(R/Γ)⌉ ≈ 6 extra refreshes per trigger at
+	// the defaults (R/Γ = 42), i.e. ≈2× messages per session — not the
+	// unbounded stream a broken backoff would produce.
+	cfgBase := Config{
+		Protocol: singlehop.SS,
+		Params:   fastParams(), // 2% loss
+		Sessions: 600,
+		Seed:     5,
+		Timers:   rand.Deterministic,
+	}
+	plain, err := RunSingleHop(cfgBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgStaged := cfgBase
+	cfgStaged.StagedRefresh = true
+	staged, err := RunSingleHop(cfgStaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := staged.MessagesPerSession.Mean / plain.MessagesPerSession.Mean
+	if ratio > 2.5 {
+		t.Fatalf("staged refresh flooded: plain=%v staged=%v (%.1fx)",
+			plain.MessagesPerSession.Mean, staged.MessagesPerSession.Mean, ratio)
+	}
+	if ratio < 1 {
+		t.Fatalf("staged refresh should not send fewer messages (%.2fx)", ratio)
+	}
+}
+
+func TestMsgNackString(t *testing.T) {
+	if msgNack.String() != "nack" {
+		t.Fatalf("msgNack renders as %q", msgNack.String())
+	}
+}

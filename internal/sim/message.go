@@ -1,0 +1,59 @@
+// Package sim is the event-level protocol simulator: actual sender and
+// receiver state machines for all five generic protocols exchanging
+// messages over the lossy FIFO channel of internal/netsim, driven by the
+// internal/des kernel.
+//
+// The simulator serves two purposes. With exponential timers it
+// independently re-derives the analytic results of internal/singlehop and
+// internal/multihop, which is the repository's strongest correctness
+// check. With deterministic timers it reproduces the paper's simulation
+// study (Figs. 11 and 12), quantifying how little the exponential-timer
+// approximation matters.
+package sim
+
+import "fmt"
+
+// msgType enumerates the signaling messages exchanged by the protocols.
+type msgType int
+
+const (
+	msgTrigger    msgType = iota // state setup/update carrying a value
+	msgRefresh                   // periodic soft-state refresh carrying a value
+	msgAck                       // receiver ACK of a trigger (reliable trigger)
+	msgRemoval                   // explicit state removal
+	msgRemovalAck                // receiver ACK of a removal (reliable removal)
+	msgNotify                    // receiver → sender: state was removed (timeout/false signal)
+	msgFlush                     // multi-hop HS: flush orphaned state downstream
+	msgNack                      // receiver → sender: loss detected (NACK-oracle extension)
+)
+
+func (t msgType) String() string {
+	switch t {
+	case msgTrigger:
+		return "trigger"
+	case msgRefresh:
+		return "refresh"
+	case msgAck:
+		return "ack"
+	case msgRemoval:
+		return "removal"
+	case msgRemovalAck:
+		return "removal-ack"
+	case msgNotify:
+		return "notify"
+	case msgFlush:
+		return "flush"
+	case msgNack:
+		return "nack"
+	default:
+		return fmt.Sprintf("msgType(%d)", int(t))
+	}
+}
+
+// message is one signaling message. Value carries the sender's state
+// value; Seq orders triggers for ACK matching.
+type message struct {
+	Type  msgType
+	Seq   int
+	Value int
+}

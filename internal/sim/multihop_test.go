@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"softstate/internal/multihop"
+	"softstate/internal/rand"
+	"softstate/internal/singlehop"
+)
+
+// fastMulti shrinks the path study for test speed: fewer hops, faster
+// updates, so the install machinery is exercised constantly.
+func fastMulti() multihop.Params {
+	p := multihop.DefaultParams()
+	p.Hops = 5
+	p.UpdateRate = 1.0 / 20
+	return p
+}
+
+func TestMultiHopValidation(t *testing.T) {
+	good := MultiConfig{
+		Protocol: singlehop.SS, Params: fastMulti(),
+		Horizon: 100, Runs: 1, Seed: 1,
+	}
+	bad := good
+	bad.Protocol = singlehop.SSER
+	if _, err := RunMultiHop(bad); err == nil {
+		t.Fatal("SS+ER accepted for multi-hop")
+	}
+	bad = good
+	bad.Runs = 0
+	if _, err := RunMultiHop(bad); err == nil {
+		t.Fatal("Runs=0 accepted")
+	}
+	bad = good
+	bad.Horizon = 0
+	if _, err := RunMultiHop(bad); err == nil {
+		t.Fatal("Horizon=0 accepted")
+	}
+	bad = good
+	bad.Params.Hops = 0
+	if _, err := RunMultiHop(bad); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestMultiHopPerHopMonotone(t *testing.T) {
+	for _, proto := range []singlehop.Protocol{singlehop.SS, singlehop.SSRT, singlehop.HS} {
+		res, err := RunMultiHop(MultiConfig{
+			Protocol: proto, Params: fastMulti(),
+			Horizon: 20000, Runs: 3, Seed: 11, Timers: rand.Deterministic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.PerHop) != 5 {
+			t.Fatalf("PerHop = %d entries", len(res.PerHop))
+		}
+		// Allow small statistical wiggle between adjacent hops.
+		for k := 1; k < len(res.PerHop); k++ {
+			if res.PerHop[k].Mean < res.PerHop[k-1].Mean-0.01 {
+				t.Fatalf("%v: per-hop inconsistency fell sharply at hop %d: %v -> %v",
+					proto, k+1, res.PerHop[k-1].Mean, res.PerHop[k].Mean)
+			}
+		}
+		// End-to-end at least as inconsistent as any single hop.
+		if res.Inconsistency.Mean < res.PerHop[len(res.PerHop)-1].Mean-0.01 {
+			t.Fatalf("%v: e2e %v below last hop %v", proto,
+				res.Inconsistency.Mean, res.PerHop[len(res.PerHop)-1].Mean)
+		}
+	}
+}
+
+// TestMultiHopCrossValidation compares the path simulator against the
+// multi-hop CTMC using deterministic protocol timers (the regime the
+// model's λf approximation is faithful to; see the single-hop
+// TestExponentialTimeoutBreaksSoftState). The two differ by documented
+// modeling approximations — the chain collapses partial consistency into a
+// prefix count, assumes exponential refresh spacing (mean residual R vs
+// R/2 for deterministic refreshes), and abstracts HS recovery — so the
+// tolerance is wider than single-hop: within 40% relative.
+func TestMultiHopCrossValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation needs a long horizon")
+	}
+	for _, proto := range []singlehop.Protocol{singlehop.SS, singlehop.SSRT, singlehop.HS} {
+		p := fastMulti()
+		res, err := RunMultiHop(MultiConfig{
+			Protocol: proto, Params: p,
+			Horizon: 60000, Runs: 4, Seed: 21, Timers: rand.Deterministic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ana, err := multihop.Analyze(proto, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(res.Inconsistency.Mean-ana.Inconsistency) / ana.Inconsistency
+		if rel > 0.40 {
+			t.Errorf("%v: sim I=%v analytic I=%v (rel %.0f%%)",
+				proto, res.Inconsistency.Mean, ana.Inconsistency, 100*rel)
+		}
+	}
+}
+
+func TestMultiHopMessageRateOrdering(t *testing.T) {
+	// HS ≪ SS ≤ SS+RT in signaling volume (Fig 18(b)). Uses the paper's
+	// slower update rate: with very frequent updates HS's per-hop ACK
+	// traffic can rival refresh traffic, which is outside the figure's
+	// regime.
+	p := fastMulti()
+	p.UpdateRate = 1.0 / 60
+	get := func(proto singlehop.Protocol) MultiResult {
+		res, err := RunMultiHop(MultiConfig{
+			Protocol: proto, Params: p,
+			Horizon: 20000, Runs: 2, Seed: 31, Timers: rand.Deterministic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ss, ssrt, hs := get(singlehop.SS), get(singlehop.SSRT), get(singlehop.HS)
+	if !(hs.MsgRate.Mean < ss.MsgRate.Mean) {
+		t.Fatalf("HS rate %v should be below SS %v", hs.MsgRate.Mean, ss.MsgRate.Mean)
+	}
+	if !(ss.MsgRate.Mean <= ssrt.MsgRate.Mean) {
+		t.Fatalf("SS rate %v should not exceed SS+RT %v", ss.MsgRate.Mean, ssrt.MsgRate.Mean)
+	}
+	// SS+RT's reliability is cheap (paper: "little additional overhead").
+	if ssrt.MsgRate.Mean > 1.5*ss.MsgRate.Mean {
+		t.Fatalf("SS+RT rate %v too far above SS %v", ssrt.MsgRate.Mean, ss.MsgRate.Mean)
+	}
+}
+
+func TestMultiHopConsistencyOrdering(t *testing.T) {
+	get := func(proto singlehop.Protocol) MultiResult {
+		res, err := RunMultiHop(MultiConfig{
+			Protocol: proto, Params: fastMulti(),
+			Horizon: 30000, Runs: 3, Seed: 41, Timers: rand.Deterministic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ss, ssrt := get(singlehop.SS), get(singlehop.SSRT)
+	if !(ssrt.Inconsistency.Mean < ss.Inconsistency.Mean) {
+		t.Fatalf("SS+RT (%v) should beat SS (%v) end to end",
+			ssrt.Inconsistency.Mean, ss.Inconsistency.Mean)
+	}
+}
+
+func TestMultiHopReproducible(t *testing.T) {
+	cfg := MultiConfig{
+		Protocol: singlehop.SSRT, Params: fastMulti(),
+		Horizon: 2000, Runs: 2, Seed: 77, Timers: rand.Deterministic,
+	}
+	a, err := RunMultiHop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultiHop(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Inconsistency.Mean != b.Inconsistency.Mean || a.MsgRate.Mean != b.MsgRate.Mean {
+		t.Fatal("same seed produced different multi-hop results")
+	}
+}
+
+func TestMultiHopHSRecovery(t *testing.T) {
+	// Crank the false-signal rate and verify HS pays for recovery episodes
+	// with inconsistency (state flushed path-wide until re-install).
+	p := fastMulti()
+	quiet := p
+	quiet.FalseRemoval = 0
+	noisy := p
+	noisy.FalseRemoval = 0.01
+	run := func(mp multihop.Params) MultiResult {
+		res, err := RunMultiHop(MultiConfig{
+			Protocol: singlehop.HS, Params: mp,
+			Horizon: 20000, Runs: 2, Seed: 51, Timers: rand.Deterministic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	q, n := run(quiet), run(noisy)
+	if !(n.Inconsistency.Mean > q.Inconsistency.Mean) {
+		t.Fatalf("false signals should raise HS inconsistency: quiet=%v noisy=%v",
+			q.Inconsistency.Mean, n.Inconsistency.Mean)
+	}
+}

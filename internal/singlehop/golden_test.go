@@ -1,0 +1,55 @@
+package singlehop
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenMetricsAtDefaults freezes the analytic outputs at the paper's
+// default operating point. These values were cross-validated against the
+// event simulator (internal/sim) and against the paper's Figure 4; any
+// drift means the model changed, which must be a deliberate act.
+func TestGoldenMetricsAtDefaults(t *testing.T) {
+	golden := map[Protocol]struct{ i, rate float64 }{
+		SS:    {0.013816617, 0.250555556},
+		SSER:  {0.005793243, 0.251111085},
+		SSRT:  {0.009872984, 0.302108137},
+		SSRTR: {0.001652392, 0.303230492},
+		HS:    {0.001667350, 0.103553492},
+	}
+	const tol = 1e-6 // relative
+	for proto, want := range golden {
+		m, err := Analyze(proto, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(m.Inconsistency-want.i) / want.i; rel > tol {
+			t.Errorf("%v: I = %.6f, golden %.6f (drift %.2g)", proto, m.Inconsistency, want.i, rel)
+		}
+		if rel := math.Abs(m.NormalizedRate-want.rate) / want.rate; rel > tol {
+			t.Errorf("%v: Λ = %.6f, golden %.6f (drift %.2g)", proto, m.NormalizedRate, want.rate, rel)
+		}
+	}
+}
+
+// TestGoldenLifetimes freezes the mean state lifetimes at the defaults:
+// ≈1/μr plus the orphan wait (T-scale without explicit removal, D-scale
+// with it).
+func TestGoldenLifetimes(t *testing.T) {
+	golden := map[Protocol]float64{
+		SS:    1817.7293,
+		SSER:  1803.0600,
+		SSRT:  1817.7300,
+		SSRTR: 1802.7624,
+		HS:    1802.7624,
+	}
+	for proto, want := range golden {
+		m, err := Analyze(proto, DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Lifetime-want) > 0.001 {
+			t.Errorf("%v: lifetime = %.4f, golden %.4f", proto, m.Lifetime, want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package singlehop implements the paper's single-hop analytic models
+// (§III-A): the continuous-time Markov chain of Figure 3 with the
+// protocol-specific transition rates of Table I, solved for the
+// inconsistency ratio (eq. 1), session lifetime, per-class signaling
+// message rates (eqs. 3–7), and the normalized message rate Λ = μr·E[N]
+// (eq. 2) for each of the five generic protocols.
+package singlehop
+
+import (
+	"fmt"
+	"math"
+)
+
+// Protocol identifies one of the paper's five generic signaling protocols,
+// ordered from pure soft state to pure hard state.
+type Protocol int
+
+const (
+	// SS is pure soft state: best-effort triggers and refreshes, removal
+	// only by state-timeout.
+	SS Protocol = iota
+	// SSER adds a best-effort explicit removal message to SS.
+	SSER
+	// SSRT adds reliable (ACKed, retransmitted) trigger messages and a
+	// timeout-removal notification mechanism to SS.
+	SSRT
+	// SSRTR adds reliable removal on top of SSRT.
+	SSRTR
+	// HS is pure hard state: reliable setup/update/removal, no refreshes,
+	// no state timeout; orphan detection by an external signal that can
+	// fire falsely at rate FalseSignal.
+	HS
+)
+
+// Protocols returns all five protocols in the paper's presentation order.
+func Protocols() []Protocol { return []Protocol{SS, SSER, SSRT, SSRTR, HS} }
+
+// String implements fmt.Stringer using the paper's protocol names.
+func (p Protocol) String() string {
+	switch p {
+	case SS:
+		return "SS"
+	case SSER:
+		return "SS+ER"
+	case SSRT:
+		return "SS+RT"
+	case SSRTR:
+		return "SS+RTR"
+	case HS:
+		return "HS"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// Refreshes reports whether the protocol sends soft-state refreshes.
+func (p Protocol) Refreshes() bool { return p != HS }
+
+// ExplicitRemoval reports whether the protocol sends an explicit
+// state-removal message.
+func (p Protocol) ExplicitRemoval() bool { return p == SSER || p == SSRTR || p == HS }
+
+// ReliableTrigger reports whether trigger messages are ACKed and
+// retransmitted.
+func (p Protocol) ReliableTrigger() bool { return p == SSRT || p == SSRTR || p == HS }
+
+// ReliableRemoval reports whether removal messages are ACKed and
+// retransmitted.
+func (p Protocol) ReliableRemoval() bool { return p == SSRTR || p == HS }
+
+// Params holds the single-hop system and protocol parameters of §III-A.1.
+type Params struct {
+	// UpdateRate is λu, the rate of signaling state updates at the sender.
+	UpdateRate float64
+	// RemovalRate is μr; 1/μr is the mean signaling session lifetime.
+	RemovalRate float64
+	// Delay is D, the mean one-way signaling channel delay in seconds.
+	Delay float64
+	// Loss is pl, the per-message loss probability.
+	Loss float64
+	// Refresh is R, the soft-state refresh timer value.
+	Refresh float64
+	// Timeout is T, the soft-state state-timeout timer value.
+	Timeout float64
+	// Retransmit is Γ, the retransmission timer for reliable messages.
+	Retransmit float64
+	// FalseSignal is λ, the rate at which the hard-state protocol's
+	// external failure detector fires falsely.
+	FalseSignal float64
+}
+
+// DefaultParams returns the paper's Kazaa-scenario defaults (§III-A.3):
+// pl = 0.02, D = 30 ms, 1/λu = 20 s, 1/μr = 1800 s, R = 5 s, T = 3R,
+// Γ = 4D, λ = 0.0001.
+func DefaultParams() Params {
+	const d = 0.030
+	return Params{
+		UpdateRate:  1.0 / 20,
+		RemovalRate: 1.0 / 1800,
+		Delay:       d,
+		Loss:        0.02,
+		Refresh:     5,
+		Timeout:     15,
+		Retransmit:  4 * d,
+		FalseSignal: 0.0001,
+	}
+}
+
+// WithSessionLength returns a copy with the mean session length 1/μr set
+// to seconds.
+func (p Params) WithSessionLength(seconds float64) Params {
+	p.RemovalRate = 1 / seconds
+	return p
+}
+
+// WithRefresh returns a copy with R set and T scaled to keep the paper's
+// T = 3R coupling used whenever R is swept (§III-A.3, Fig 6).
+func (p Params) WithRefresh(r float64) Params {
+	p.Refresh = r
+	p.Timeout = 3 * r
+	return p
+}
+
+// WithDelay returns a copy with D set and Γ scaled to keep Γ = 4D ("the
+// value of the retransmission timer is generally proportional to the
+// channel delay", §III-A.3).
+func (p Params) WithDelay(d float64) Params {
+	p.Delay = d
+	p.Retransmit = 4 * d
+	return p
+}
+
+// Validate reports the first structural problem with the parameters.
+func (p Params) Validate() error {
+	check := func(name string, v float64, allowZero bool) error {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || (!allowZero && v == 0) {
+			return fmt.Errorf("singlehop: invalid %s = %v", name, v)
+		}
+		return nil
+	}
+	if err := check("UpdateRate (λu)", p.UpdateRate, true); err != nil {
+		return err
+	}
+	if err := check("RemovalRate (μr)", p.RemovalRate, true); err != nil {
+		return err
+	}
+	if err := check("Delay (D)", p.Delay, false); err != nil {
+		return err
+	}
+	if p.Loss < 0 || p.Loss >= 1 || math.IsNaN(p.Loss) {
+		return fmt.Errorf("singlehop: loss probability pl = %v outside [0,1)", p.Loss)
+	}
+	if err := check("Refresh (R)", p.Refresh, false); err != nil {
+		return err
+	}
+	if err := check("Timeout (T)", p.Timeout, false); err != nil {
+		return err
+	}
+	if err := check("Retransmit (Γ)", p.Retransmit, false); err != nil {
+		return err
+	}
+	if err := check("FalseSignal (λ)", p.FalseSignal, true); err != nil {
+		return err
+	}
+	return nil
+}
+
+// FalseRemovalRate returns λf for the given protocol: soft-state protocols
+// lose state when every refresh within a timeout window is lost, which the
+// paper approximates as λf = pl^(T/R)/T; the hard-state protocol's false
+// removals come from its external signal at rate λ.
+func (p Params) FalseRemovalRate(proto Protocol) float64 {
+	if proto == HS {
+		return p.FalseSignal
+	}
+	if p.Loss == 0 {
+		return 0
+	}
+	return math.Pow(p.Loss, p.Timeout/p.Refresh) / p.Timeout
+}

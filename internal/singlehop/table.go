@@ -1,0 +1,122 @@
+package singlehop
+
+import "fmt"
+
+// TableRow is one row of the paper's Table I: a Figure 3 transition and
+// its rate under each protocol. Symbolic carries the closed-form
+// expression; the Rates map carries the numeric value extracted from the
+// built chain at the given parameters, so the regenerated table is
+// guaranteed to agree with the models the experiments solve.
+type TableRow struct {
+	Transition string
+	Symbolic   map[Protocol]string
+	Rates      map[Protocol]float64
+}
+
+// TableI regenerates the paper's Table I at parameter point p. Rows appear
+// in the paper's order. A rate of zero with symbolic "-" means the
+// transition (or state) does not exist for that protocol.
+func TableI(p Params) ([]TableRow, error) {
+	type rowSpec struct {
+		label    string
+		from, to state
+		symbolic map[Protocol]string
+	}
+	specs := []rowSpec{
+		{
+			label: "(1,-)1→(1,-)2 and C~1→C~2 (trigger lost)",
+			from:  stInit1, to: stInit2,
+			symbolic: uniform("pl/D"),
+		},
+		{
+			label: "(1,-)1→C and C~1→C (trigger delivered)",
+			from:  stInit1, to: stC,
+			symbolic: uniform("(1-pl)/D"),
+		},
+		{
+			label: "(1,-)2→C and C~2→C (slow-path repair)",
+			from:  stInit2, to: stC,
+			symbolic: map[Protocol]string{
+				SS:    "(1-pl)/R",
+				SSER:  "(1-pl)/R",
+				SSRT:  "(1/R+1/Γ)·(1-pl)",
+				SSRTR: "(1/R+1/Γ)·(1-pl)",
+				HS:    "(1-pl)/Γ",
+			},
+		},
+		{
+			label: "(-,1)1→(-,1)2 (removal lost)",
+			from:  stRem1, to: stRem2,
+			symbolic: map[Protocol]string{
+				SS:    "-",
+				SSER:  "pl/D",
+				SSRT:  "-",
+				SSRTR: "pl/D",
+				HS:    "pl/D",
+			},
+		},
+		{
+			label: "(-,1)1→(-,-) (orphan cleanup)",
+			from:  stRem1, to: stAbs,
+			symbolic: map[Protocol]string{
+				SS:    "1/T",
+				SSER:  "(1-pl)/D",
+				SSRT:  "1/T",
+				SSRTR: "(1-pl)/D",
+				HS:    "(1-pl)/D",
+			},
+		},
+		{
+			label: "(-,1)2→(-,-) (lost-removal cleanup)",
+			from:  stRem2, to: stAbs,
+			symbolic: map[Protocol]string{
+				SS:    "-",
+				SSER:  "1/T",
+				SSRT:  "-",
+				SSRTR: "1/T+(1-pl)/Γ",
+				HS:    "(1-pl)/Γ",
+			},
+		},
+		{
+			label: "C→(1,-)2 and C~2→(1,-)2 (false removal λf)",
+			from:  stC, to: stInit2,
+			symbolic: map[Protocol]string{
+				SS:    "pl^(T/R)/T",
+				SSER:  "pl^(T/R)/T",
+				SSRT:  "pl^(T/R)/T",
+				SSRTR: "pl^(T/R)/T",
+				HS:    "λ",
+			},
+		},
+	}
+
+	models := make(map[Protocol]*Model, 5)
+	for _, proto := range Protocols() {
+		m, err := Build(proto, p)
+		if err != nil {
+			return nil, fmt.Errorf("singlehop: building %v for Table I: %w", proto, err)
+		}
+		models[proto] = m
+	}
+	rows := make([]TableRow, 0, len(specs))
+	for _, s := range specs {
+		row := TableRow{
+			Transition: s.label,
+			Symbolic:   s.symbolic,
+			Rates:      make(map[Protocol]float64, 5),
+		}
+		for _, proto := range Protocols() {
+			row.Rates[proto] = models[proto].rate(s.from, s.to)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func uniform(expr string) map[Protocol]string {
+	m := make(map[Protocol]string, 5)
+	for _, proto := range Protocols() {
+		m[proto] = expr
+	}
+	return m
+}

@@ -1,0 +1,188 @@
+// Package wire defines the on-the-wire encoding for the signaling runtime
+// (internal/signal): a compact, versioned, checksummed binary format for
+// the six message types the generic protocols exchange. The format is
+// deliberately simple — fixed header, length-prefixed key and value, CRC32
+// trailer — so a datagram is self-contained and corruption is detected
+// before it can touch protocol state.
+//
+// Layout (big endian):
+//
+//	offset  size  field
+//	0       1     version (currently 1)
+//	1       1     type
+//	2       8     sequence number
+//	10      2     key length K (≤ MaxKeyLen)
+//	12      K     key bytes
+//	12+K    4     value length V (≤ MaxValueLen)
+//	16+K    V     value bytes
+//	16+K+V  4     CRC32 (IEEE) of bytes [0, 16+K+V)
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Version is the current wire format version.
+const Version = 1
+
+// Size limits keep a message inside a single conventional UDP datagram.
+const (
+	// MaxKeyLen bounds the state key.
+	MaxKeyLen = 512
+	// MaxValueLen bounds the state value payload.
+	MaxValueLen = 8192
+)
+
+// Type enumerates signaling message types.
+type Type uint8
+
+// Message types of the generic protocols (paper Figure 1).
+const (
+	// TypeTrigger installs or updates state (best-effort or reliable).
+	TypeTrigger Type = iota + 1
+	// TypeRefresh is a periodic soft-state refresh.
+	TypeRefresh
+	// TypeAck acknowledges a trigger (reliable-trigger protocols).
+	TypeAck
+	// TypeRemoval explicitly removes state.
+	TypeRemoval
+	// TypeRemovalAck acknowledges a removal (reliable-removal protocols).
+	TypeRemovalAck
+	// TypeNotify informs the sender that its state was removed at the
+	// receiver (timeout or external signal).
+	TypeNotify
+	maxType
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeTrigger:
+		return "trigger"
+	case TypeRefresh:
+		return "refresh"
+	case TypeAck:
+		return "ack"
+	case TypeRemoval:
+		return "removal"
+	case TypeRemovalAck:
+		return "removal-ack"
+	case TypeNotify:
+		return "notify"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Valid reports whether t is a known message type.
+func (t Type) Valid() bool { return t >= TypeTrigger && t < maxType }
+
+// Decoding and encoding errors.
+var (
+	ErrShort    = errors.New("wire: message truncated")
+	ErrVersion  = errors.New("wire: unsupported version")
+	ErrType     = errors.New("wire: unknown message type")
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	ErrTooLarge = errors.New("wire: key or value exceeds size limit")
+)
+
+// Message is one signaling datagram.
+type Message struct {
+	// Type is the message type.
+	Type Type
+	// Seq orders triggers/removals and matches ACKs to them.
+	Seq uint64
+	// Key names the piece of signaling state.
+	Key string
+	// Value is the state payload (nil for ACKs, removals, notifies).
+	Value []byte
+}
+
+const headerLen = 1 + 1 + 8 + 2 // version, type, seq, key length
+const trailerLen = 4            // CRC32
+
+// EncodedLen returns the encoded size of m.
+func (m *Message) EncodedLen() int {
+	return headerLen + len(m.Key) + 4 + len(m.Value) + trailerLen
+}
+
+// MarshalBinary encodes m.
+func (m *Message) MarshalBinary() ([]byte, error) {
+	return m.Append(make([]byte, 0, m.EncodedLen()))
+}
+
+// Append encodes m onto dst and returns the extended slice.
+func (m *Message) Append(dst []byte) ([]byte, error) {
+	if !m.Type.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrType, m.Type)
+	}
+	if len(m.Key) > MaxKeyLen || len(m.Value) > MaxValueLen {
+		return nil, fmt.Errorf("%w: key %d bytes, value %d bytes", ErrTooLarge, len(m.Key), len(m.Value))
+	}
+	start := len(dst)
+	dst = append(dst, Version, byte(m.Type))
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Key)))
+	dst = append(dst, m.Key...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Value)))
+	dst = append(dst, m.Value...)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	dst = binary.BigEndian.AppendUint32(dst, sum)
+	return dst, nil
+}
+
+// UnmarshalBinary decodes data into m. The key and value are copied, so m
+// does not alias data after return.
+func (m *Message) UnmarshalBinary(data []byte) error {
+	if len(data) < headerLen+4+trailerLen {
+		return ErrShort
+	}
+	body, trailer := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(trailer); got != want {
+		return ErrChecksum
+	}
+	if body[0] != Version {
+		return fmt.Errorf("%w: %d", ErrVersion, body[0])
+	}
+	typ := Type(body[1])
+	if !typ.Valid() {
+		return fmt.Errorf("%w: %d", ErrType, body[1])
+	}
+	seq := binary.BigEndian.Uint64(body[2:10])
+	keyLen := int(binary.BigEndian.Uint16(body[10:12]))
+	if keyLen > MaxKeyLen {
+		return ErrTooLarge
+	}
+	rest := body[12:]
+	if len(rest) < keyLen+4 {
+		return ErrShort
+	}
+	key := string(rest[:keyLen])
+	rest = rest[keyLen:]
+	valLen := int(binary.BigEndian.Uint32(rest[:4]))
+	if valLen > MaxValueLen {
+		return ErrTooLarge
+	}
+	rest = rest[4:]
+	if len(rest) != valLen {
+		return ErrShort
+	}
+	var value []byte
+	if valLen > 0 {
+		value = make([]byte, valLen)
+		copy(value, rest)
+	}
+	m.Type = typ
+	m.Seq = seq
+	m.Key = key
+	m.Value = value
+	return nil
+}
+
+// String renders the message for logging.
+func (m *Message) String() string {
+	return fmt.Sprintf("%s seq=%d key=%q (%d bytes)", m.Type, m.Seq, m.Key, len(m.Value))
+}

@@ -1,0 +1,131 @@
+// Package softstate is a Go implementation of the signaling-protocol
+// analysis from Ji, Ge, Kurose, and Towsley, "A Comparison of Hard-state
+// and Soft-state Signaling Protocols" (SIGCOMM 2003).
+//
+// The package models five generic signaling protocols spanning the
+// hard-state/soft-state spectrum — pure soft state (SS), soft state with
+// explicit removal (SS+ER), with reliable triggers (SS+RT), with reliable
+// triggers and removal (SS+RTR), and pure hard state (HS) — and evaluates
+// them three ways:
+//
+//   - analytically, via the paper's continuous-time Markov chains for
+//     single-hop (Analyze) and multi-hop (AnalyzeMultihop) systems;
+//   - by event-level simulation of the actual protocol state machines
+//     over a lossy, delaying, FIFO channel (Simulate, SimulateMultihop);
+//   - and as a runnable real-time signaling runtime over net.PacketConn
+//     (internal/signal), for use as an actual protocol library.
+//
+// The metrics follow the paper: the inconsistency ratio I (fraction of
+// time sender and receiver state disagree), the normalized signaling
+// message rate Λ = μr·E[messages per session], and the integrated cost
+// C = α·I + Λ.
+//
+// # Quickstart
+//
+//	p := softstate.DefaultParams()
+//	for _, proto := range softstate.Protocols() {
+//		m, err := softstate.Analyze(proto, p)
+//		if err != nil {
+//			log.Fatal(err)
+//		}
+//		fmt.Printf("%-7v I=%.4f Λ=%.3f msg/s\n", proto, m.Inconsistency, m.NormalizedRate)
+//	}
+//
+// Every table and figure of the paper's evaluation can be regenerated
+// with cmd/sigbench or the benchmarks in bench_test.go; see DESIGN.md for
+// the experiment index and EXPERIMENTS.md for measured-vs-paper results.
+package softstate
+
+import "softstate/internal/core"
+
+// Protocol identifies one of the five generic signaling protocols.
+type Protocol = core.Protocol
+
+// The five protocols, ordered from pure soft state to pure hard state.
+const (
+	SS    = core.SS
+	SSER  = core.SSER
+	SSRT  = core.SSRT
+	SSRTR = core.SSRTR
+	HS    = core.HS
+)
+
+// Params are the single-hop system parameters (paper §III-A): update and
+// removal rates, channel delay and loss, and the refresh/timeout/
+// retransmission timers.
+type Params = core.Params
+
+// MultihopParams are the path parameters (paper §III-B).
+type MultihopParams = core.MultihopParams
+
+// Metrics are the single-hop analytic outputs: inconsistency ratio,
+// lifetime, message rates.
+type Metrics = core.Metrics
+
+// MultihopMetrics are the multi-hop analytic outputs, including per-hop
+// inconsistency.
+type MultihopMetrics = core.MultihopMetrics
+
+// SimConfig configures the event-level single-hop simulator.
+type SimConfig = core.SimConfig
+
+// SimResult is the single-hop simulation output with confidence intervals.
+type SimResult = core.SimResult
+
+// MultihopSimConfig configures the event-level path simulator.
+type MultihopSimConfig = core.MultihopSimConfig
+
+// MultihopSimResult is the path simulation output.
+type MultihopSimResult = core.MultihopSimResult
+
+// TimerKind selects a timer distribution for simulations.
+type TimerKind = core.TimerKind
+
+// Timer distribution families.
+const (
+	Exponential   = core.Exponential
+	Deterministic = core.Deterministic
+	UniformJitter = core.UniformJitter
+)
+
+// Comparison pairs a protocol with its analytic metrics.
+type Comparison = core.Comparison
+
+// Protocols returns all five protocols in the paper's order.
+func Protocols() []Protocol { return core.Protocols() }
+
+// MultihopProtocols returns the protocols covered by the multi-hop study.
+func MultihopProtocols() []Protocol { return core.MultihopProtocols() }
+
+// DefaultParams returns the paper's Kazaa-scenario single-hop defaults.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// DefaultMultihopParams returns the paper's path-reservation defaults.
+func DefaultMultihopParams() MultihopParams { return core.DefaultMultihopParams() }
+
+// Analyze solves the single-hop CTMC for proto at p.
+func Analyze(proto Protocol, p Params) (Metrics, error) { return core.Analyze(proto, p) }
+
+// AnalyzeMultihop solves the multi-hop CTMC for proto at p.
+func AnalyzeMultihop(proto Protocol, p MultihopParams) (MultihopMetrics, error) {
+	return core.AnalyzeMultihop(proto, p)
+}
+
+// Simulate runs the event-level single-hop simulator.
+func Simulate(cfg SimConfig) (SimResult, error) { return core.Simulate(cfg) }
+
+// SimulateMultihop runs the event-level path simulator.
+func SimulateMultihop(cfg MultihopSimConfig) (MultihopSimResult, error) {
+	return core.SimulateMultihop(cfg)
+}
+
+// IntegratedCost is C = α·I + Λ (paper eq. 8).
+func IntegratedCost(alpha float64, m Metrics) float64 { return core.IntegratedCost(alpha, m) }
+
+// Compare solves every protocol at one parameter point.
+func Compare(p Params) ([]Comparison, error) { return core.Compare(p) }
+
+// BestProtocol returns the protocol minimizing C = α·I + Λ at p.
+func BestProtocol(alpha float64, p Params) (Protocol, float64, error) {
+	return core.BestProtocol(alpha, p)
+}
