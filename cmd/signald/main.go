@@ -14,6 +14,11 @@
 //	signald -mode demo -proto HS -loss 0.3
 //	    Self-contained two-endpoint demonstration over an in-memory lossy
 //	    channel: install, update, false removal + repair, explicit removal.
+//
+// Scaling knobs: -shards sets the state-table shard count (one lock and
+// one timing-wheel goroutine per shard), and -summary-refresh batches up
+// to -summary-keys key renewals into each refresh datagram (RFC
+// 2961-style refresh reduction).
 package main
 
 import (
@@ -42,6 +47,10 @@ func main() {
 		hold    = flag.Duration("hold", 20*time.Second, "how long to maintain state (send)")
 		refresh = flag.Duration("refresh", 2*time.Second, "refresh interval R")
 		loss    = flag.Float64("loss", 0.2, "channel loss probability (demo)")
+		shards  = flag.Int("shards", 0, "state-table shard count (power of two; 0 = default)")
+		summary = flag.Bool("summary-refresh", false,
+			"batch refreshes into summary datagrams (RFC 2961-style refresh reduction)")
+		summaryKeys = flag.Int("summary-keys", 64, "max keys per summary datagram")
 	)
 	flag.Parse()
 
@@ -55,6 +64,9 @@ func main() {
 		RefreshInterval: *refresh,
 		Timeout:         3 * *refresh,
 		Retransmit:      200 * time.Millisecond,
+		Shards:          *shards,
+		SummaryRefresh:  *summary,
+		SummaryMaxKeys:  *summaryKeys,
 	}
 
 	switch *mode {

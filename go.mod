@@ -1,0 +1,3 @@
+module softstate
+
+go 1.22

@@ -4,26 +4,30 @@ import (
 	"errors"
 	"net"
 	"sync"
-	"time"
+	"sync/atomic"
 
+	"softstate/internal/statetable"
 	"softstate/internal/wire"
 )
 
 // Receiver holds signaling state installed by remote Senders. One Receiver
-// can serve many senders and keys; replies (ACKs, notifications) go to the
-// source address of the triggering datagram. All methods are safe for
-// concurrent use.
+// can serve many senders and keys; replies (ACKs, NACKs, notifications) go
+// to the source address of the triggering datagram. State lives in a
+// sharded state table whose timing wheels drive every state-timeout
+// deadline, so one Receiver holds millions of keys with a fixed number of
+// goroutines. All methods are safe for concurrent use.
 type Receiver struct {
 	conn net.PacketConn
 	cfg  Config
 
-	mu      sync.Mutex
-	entries map[string]*receiverEntry
-	stats   Stats
-	closed  bool
+	tbl    *statetable.Table[receiverEntry]
+	ctrs   counters
+	closed atomic.Bool
 
-	events chan Event
-	wg     sync.WaitGroup
+	events     chan Event
+	eventsMu   sync.RWMutex // write-held only to close events
+	eventsDone bool
+	wg         sync.WaitGroup
 }
 
 // receiverEntry is one installed piece of state.
@@ -31,7 +35,6 @@ type receiverEntry struct {
 	value   []byte
 	lastSeq uint64
 	peer    net.Addr
-	timeout *time.Timer
 }
 
 // NewReceiver creates a receiver speaking cfg.Protocol on conn and starts
@@ -42,12 +45,14 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 	}
 	cfg = cfg.withDefaults()
 	r := &Receiver{
-		conn:    conn,
-		cfg:     cfg,
-		entries: make(map[string]*receiverEntry),
-		stats:   newStats(),
-		events:  make(chan Event, cfg.EventBuffer),
+		conn:   conn,
+		cfg:    cfg,
+		events: make(chan Event, cfg.EventBuffer),
 	}
+	r.tbl = statetable.New(statetable.Config[receiverEntry]{
+		Shards:   cfg.Shards,
+		OnExpire: r.onTimeout,
+	})
 	r.wg.Add(1)
 	go r.readLoop()
 	return r, nil
@@ -57,17 +62,11 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 func (r *Receiver) Events() <-chan Event { return r.events }
 
 // Stats returns a snapshot of message counters.
-func (r *Receiver) Stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats.clone()
-}
+func (r *Receiver) Stats() Stats { return r.ctrs.snapshot() }
 
 // Get returns the installed value for key.
 func (r *Receiver) Get(key string) ([]byte, bool) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.entries[key]
+	e, ok := r.tbl.Get(key)
 	if !ok {
 		return nil, false
 	}
@@ -77,54 +76,41 @@ func (r *Receiver) Get(key string) ([]byte, bool) {
 }
 
 // Len returns the number of installed keys.
-func (r *Receiver) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.entries)
-}
+func (r *Receiver) Len() int { return r.tbl.Len() }
 
 // Keys returns the installed keys.
-func (r *Receiver) Keys() []string {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.entries))
-	for k := range r.entries {
-		out = append(out, k)
-	}
-	return out
-}
+func (r *Receiver) Keys() []string { return r.tbl.Keys() }
 
 // InjectFalseRemoval simulates the hard-state external failure signal
 // firing falsely for key: the state is removed and the owning sender is
 // notified so it can repair (paper §II, HS false notification). It reports
 // whether the key existed.
 func (r *Receiver) InjectFalseRemoval(key string) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	e, ok := r.entries[key]
-	if !ok || r.closed {
+	if r.closed.Load() {
 		return false
 	}
-	r.dropLocked(key, e, EventFalseRemoval)
-	r.sendLocked(wire.Message{Type: wire.TypeNotify, Key: key}, e.peer)
-	return true
+	dropped := false
+	r.tbl.Update(key, func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+		dropped = true
+		peer := e.peer
+		r.drop(key, e, tc, EventFalseRemoval)
+		r.send(wire.Message{Type: wire.TypeNotify, Key: key}, peer)
+	})
+	return dropped
 }
 
 // Close stops all timers, closes the transport, and drains the loop.
 func (r *Receiver) Close() error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if r.closed.Swap(true) {
 		return nil
 	}
-	r.closed = true
-	for _, e := range r.entries {
-		stopTimer(&e.timeout)
-	}
-	r.mu.Unlock()
+	r.tbl.Close() // no timeout callback runs past this point
 	err := r.conn.Close()
 	r.wg.Wait()
+	r.eventsMu.Lock()
+	r.eventsDone = true
 	close(r.events)
+	r.eventsMu.Unlock()
 	return err
 }
 
@@ -138,9 +124,7 @@ func (r *Receiver) readLoop() {
 		}
 		var m wire.Message
 		if derr := m.UnmarshalBinary(buf[:n]); derr != nil {
-			r.mu.Lock()
-			r.stats.DecodeErrors++
-			r.mu.Unlock()
+			r.ctrs.decodeErrors.Add(1)
 			continue
 		}
 		r.handle(m, from)
@@ -148,81 +132,102 @@ func (r *Receiver) readLoop() {
 }
 
 func (r *Receiver) handle(m wire.Message, from net.Addr) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	if r.closed.Load() {
 		return
 	}
-	r.stats.Received[m.Type.String()]++
+	r.ctrs.received[m.Type].Add(1)
 	switch m.Type {
 	case wire.TypeTrigger, wire.TypeRefresh:
-		e, ok := r.entries[m.Key]
-		if !ok {
-			e = &receiverEntry{}
-			r.entries[m.Key] = e
-			r.emitLocked(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq})
-		} else if m.Seq >= e.lastSeq && !bytesEqual(e.value, m.Value) {
-			r.emitLocked(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq})
-		}
-		// Accept only non-stale payloads: a retransmitted old trigger must
-		// not clobber a newer value (sequence numbers are sender-global
-		// and monotone).
-		if m.Seq >= e.lastSeq {
-			e.lastSeq = m.Seq
-			e.value = m.Value
-			e.peer = from
-		}
-		r.armTimeoutLocked(m.Key, e)
-		if m.Type == wire.TypeTrigger && r.cfg.Protocol.ReliableTrigger() {
-			r.sendLocked(wire.Message{Type: wire.TypeAck, Seq: m.Seq, Key: m.Key}, from)
-		}
+		r.tbl.Upsert(m.Key, func(e *receiverEntry, created bool, tc statetable.TimerControl[receiverEntry]) {
+			if created {
+				r.emit(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq})
+			} else if m.Seq >= e.lastSeq && !bytesEqual(e.value, m.Value) {
+				r.emit(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq})
+			}
+			// Accept only non-stale payloads: a retransmitted old trigger
+			// must not clobber a newer value (sequence numbers are
+			// sender-global and monotone).
+			if m.Seq >= e.lastSeq || created {
+				e.lastSeq = m.Seq
+				e.value = m.Value
+				e.peer = from
+			}
+			r.armTimeout(tc)
+			if m.Type == wire.TypeTrigger && r.cfg.Protocol.ReliableTrigger() {
+				r.send(wire.Message{Type: wire.TypeAck, Seq: m.Seq, Key: m.Key}, from)
+			}
+		})
 	case wire.TypeRemoval:
-		if e, ok := r.entries[m.Key]; ok && m.Seq >= e.lastSeq {
-			r.dropLocked(m.Key, e, EventRemoved)
-		}
+		r.tbl.Update(m.Key, func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+			if m.Seq >= e.lastSeq {
+				r.drop(m.Key, e, tc, EventRemoved)
+			}
+		})
 		// ACK removals even for unknown keys: the state may have timed out
 		// while the sender kept retransmitting.
 		if r.cfg.Protocol.ReliableRemoval() {
-			r.sendLocked(wire.Message{Type: wire.TypeRemovalAck, Seq: m.Seq, Key: m.Key}, from)
+			r.send(wire.Message{Type: wire.TypeRemovalAck, Seq: m.Seq, Key: m.Key}, from)
 		}
+	case wire.TypeSummaryRefresh:
+		r.handleSummary(m, from)
 	}
 }
 
-func (r *Receiver) armTimeoutLocked(key string, e *receiverEntry) {
+// handleSummary bulk-renews the timeouts of every key a summary refresh
+// names and NACKs the ones this receiver does not hold, so the sender
+// falls back to full triggers for them.
+func (r *Receiver) handleSummary(m wire.Message, from net.Addr) {
+	var unknown []string
+	for _, key := range m.Keys {
+		renewed := r.tbl.Update(key, func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+			e.peer = from // track sender rebinds, like per-key refreshes do
+			r.armTimeout(tc)
+		})
+		if !renewed {
+			unknown = append(unknown, key)
+		}
+	}
+	for len(unknown) > 0 {
+		n := wire.SummaryFits(unknown)
+		if n == 0 {
+			return // unreachable: NACKed keys arrived in a datagram
+		}
+		r.send(wire.Message{Type: wire.TypeSummaryNack, Seq: m.Seq, Keys: unknown[:n]}, from)
+		unknown = unknown[n:]
+	}
+}
+
+func (r *Receiver) armTimeout(tc statetable.TimerControl[receiverEntry]) {
 	if !r.cfg.Protocol.Refreshes() {
 		return // hard state never times out
 	}
-	stopTimer(&e.timeout)
-	e.timeout = time.AfterFunc(r.cfg.Timeout, func() { r.onTimeout(key) })
+	tc.Schedule(timerTimeout, r.cfg.Timeout)
 }
 
-func (r *Receiver) onTimeout(key string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		return
-	}
-	e, ok := r.entries[key]
-	if !ok {
+// onTimeout fires when a key's state-timeout expires; it runs on a shard
+// goroutine with the shard locked.
+func (r *Receiver) onTimeout(key string, _ statetable.TimerKind, e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+	if r.closed.Load() {
 		return
 	}
 	peer := e.peer
-	r.dropLocked(key, e, EventExpired)
+	r.drop(key, e, tc, EventExpired)
 	// SS+RT and SS+RTR notify the sender of timeout removals so false
 	// removals are repaired promptly.
 	if r.cfg.Protocol.ReliableTrigger() && r.cfg.Protocol != HS {
-		r.sendLocked(wire.Message{Type: wire.TypeNotify, Key: key}, peer)
+		r.send(wire.Message{Type: wire.TypeNotify, Key: key}, peer)
 	}
 }
 
-// dropLocked removes an entry and emits the given event.
-func (r *Receiver) dropLocked(key string, e *receiverEntry, kind EventKind) {
-	stopTimer(&e.timeout)
-	delete(r.entries, key)
-	r.emitLocked(Event{Kind: kind, Key: key, Value: e.value})
+// drop removes an entry and emits the given event; callers hold the
+// entry's shard lock via tc.
+func (r *Receiver) drop(key string, e *receiverEntry, tc statetable.TimerControl[receiverEntry], kind EventKind) {
+	value := e.value
+	tc.Delete()
+	r.emit(Event{Kind: kind, Key: key, Value: value})
 }
 
-func (r *Receiver) sendLocked(m wire.Message, to net.Addr) {
+func (r *Receiver) send(m wire.Message, to net.Addr) {
 	if to == nil {
 		return
 	}
@@ -231,15 +236,21 @@ func (r *Receiver) sendLocked(m wire.Message, to net.Addr) {
 		return
 	}
 	if _, err := r.conn.WriteTo(data, to); err == nil {
-		r.stats.Sent[m.Type.String()]++
+		r.ctrs.sent[m.Type].Add(1)
 	}
 }
 
-func (r *Receiver) emitLocked(ev Event) {
-	select {
-	case r.events <- ev:
-	default:
+// emit delivers an event without ever blocking the protocol. The read
+// lock fences emission against Close closing the channel mid-send.
+func (r *Receiver) emit(ev Event) {
+	r.eventsMu.RLock()
+	if !r.eventsDone {
+		select {
+		case r.events <- ev:
+		default:
+		}
 	}
+	r.eventsMu.RUnlock()
 }
 
 func bytesEqual(a, b []byte) bool {

@@ -5,29 +5,45 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"softstate/internal/statetable"
 	"softstate/internal/wire"
 )
 
 // ErrClosed is returned by operations on a closed endpoint.
 var ErrClosed = errors.New("signal: endpoint closed")
 
-// Sender installs and maintains keyed state at a remote Receiver.
-// All methods are safe for concurrent use.
+// Timer slots in the state table: senders arm refresh and retransmit,
+// receivers arm state-timeout.
+const (
+	timerRefresh statetable.TimerKind = 0
+	timerRetx    statetable.TimerKind = 1
+	timerTimeout statetable.TimerKind = 0
+)
+
+// Sender installs and maintains keyed state at a remote Receiver. Keys
+// live in a sharded state table whose timing wheels drive every refresh
+// and retransmission deadline — no per-key timers or goroutines, so one
+// Sender scales to millions of keys. All methods are safe for concurrent
+// use.
 type Sender struct {
 	conn net.PacketConn
 	peer net.Addr
 	cfg  Config
 
-	mu      sync.Mutex
-	entries map[string]*senderEntry
-	seq     uint64
-	stats   Stats
-	closed  bool
+	tbl    *statetable.Table[senderEntry]
+	seq    atomic.Uint64
+	live   atomic.Int64 // keys installed and not being removed
+	ctrs   counters
+	closed atomic.Bool
 
-	events chan Event
-	wg     sync.WaitGroup
+	events     chan Event
+	eventsMu   sync.RWMutex // write-held only to close events
+	eventsDone bool
+	done       chan struct{}
+	wg         sync.WaitGroup
 }
 
 // senderEntry tracks one key's signaling state at the sender.
@@ -39,9 +55,6 @@ type senderEntry struct {
 
 	removing   bool // removal sent, awaiting removal-ack
 	removalSeq uint64
-
-	refresh *time.Timer
-	retx    *time.Timer
 }
 
 // NewSender creates a sender speaking cfg.Protocol to peer over conn and
@@ -52,16 +65,28 @@ func NewSender(conn net.PacketConn, peer net.Addr, cfg Config) (*Sender, error) 
 	}
 	cfg = cfg.withDefaults()
 	s := &Sender{
-		conn:    conn,
-		peer:    peer,
-		cfg:     cfg,
-		entries: make(map[string]*senderEntry),
-		stats:   newStats(),
-		events:  make(chan Event, cfg.EventBuffer),
+		conn:   conn,
+		peer:   peer,
+		cfg:    cfg,
+		events: make(chan Event, cfg.EventBuffer),
+		done:   make(chan struct{}),
 	}
+	s.tbl = statetable.New(statetable.Config[senderEntry]{
+		Shards:   cfg.Shards,
+		OnExpire: s.onExpire,
+	})
 	s.wg.Add(1)
 	go s.readLoop()
+	if s.summaryMode() {
+		s.wg.Add(1)
+		go s.summaryLoop()
+	}
 	return s, nil
+}
+
+// summaryMode reports whether refreshes are batched into summaries.
+func (s *Sender) summaryMode() bool {
+	return s.cfg.SummaryRefresh && s.cfg.Protocol.Refreshes()
 }
 
 // Events exposes the observability stream. The channel closes when the
@@ -69,11 +94,7 @@ func NewSender(conn net.PacketConn, peer net.Addr, cfg Config) (*Sender, error) 
 func (s *Sender) Events() <-chan Event { return s.events }
 
 // Stats returns a snapshot of message counters.
-func (s *Sender) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats.clone()
-}
+func (s *Sender) Stats() Stats { return s.ctrs.snapshot() }
 
 // Install installs (or reinstalls) state for key at the receiver.
 func (s *Sender) Install(key string, value []byte) error {
@@ -83,13 +104,11 @@ func (s *Sender) Install(key string, value []byte) error {
 // Update changes the state value for key; it is an error to update a key
 // that was never installed or is being removed.
 func (s *Sender) Update(key string, value []byte) error {
-	s.mu.Lock()
-	e, ok := s.entries[key]
-	if ok && e.removing {
-		ok = false
-	}
-	s.mu.Unlock()
-	if !ok {
+	known := false
+	s.tbl.Update(key, func(e *senderEntry, _ statetable.TimerControl[senderEntry]) {
+		known = !e.removing
+	})
+	if !known {
 		return fmt.Errorf("signal: update of unknown key %q", key)
 	}
 	return s.put(key, value, EventUpdated)
@@ -99,201 +118,248 @@ func (s *Sender) put(key string, value []byte, kind EventKind) error {
 	if len(key) > wire.MaxKeyLen || len(value) > wire.MaxValueLen {
 		return wire.ErrTooLarge
 	}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return ErrClosed
-	}
-	e, ok := s.entries[key]
-	if !ok || e.removing {
-		e = &senderEntry{}
-		s.entries[key] = e
 	}
 	v := make([]byte, len(value))
 	copy(v, value)
-	e.value = v
-	e.removing = false
-	e.retries = 0
-	s.seq++
-	e.seq = s.seq
-	s.sendLocked(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
-	s.armTriggerRetxLocked(key, e)
-	s.armRefreshLocked(key, e)
-	s.emitLocked(Event{Kind: kind, Key: key, Value: e.value, Seq: e.seq})
-	s.mu.Unlock()
-	return nil
+	err := error(nil)
+	s.tbl.Upsert(key, func(e *senderEntry, created bool, tc statetable.TimerControl[senderEntry]) {
+		// Re-check under the shard lock: Close may have completed since
+		// the fast-path check above, and a success return here would claim
+		// an install that no timer will ever maintain.
+		if s.closed.Load() {
+			err = ErrClosed
+			return
+		}
+		if created || e.removing {
+			s.live.Add(1)
+		}
+		e.value = v
+		e.removing = false
+		e.retries = 0
+		e.seq = s.seq.Add(1)
+		s.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
+		s.armTriggerRetx(tc)
+		s.armRefresh(tc)
+		s.emit(Event{Kind: kind, Key: key, Value: e.value, Seq: e.seq})
+	})
+	return err
 }
 
 // Remove withdraws the state for key. With explicit-removal protocols a
 // removal message is sent (reliably for SS+RTR and HS); otherwise the
 // receiver is left to time the state out.
 func (s *Sender) Remove(key string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	e, ok := s.entries[key]
-	if !ok || e.removing {
+	known := false
+	err := error(nil)
+	s.tbl.Update(key, func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+		if e.removing {
+			return
+		}
+		known = true
+		if s.closed.Load() { // Close completed since the fast-path check
+			err = ErrClosed
+			return
+		}
+		s.live.Add(-1)
+		tc.Cancel(timerRefresh)
+		tc.Cancel(timerRetx)
+		if !s.cfg.Protocol.ExplicitRemoval() {
+			tc.Delete()
+			s.emit(Event{Kind: EventRemoved, Key: key})
+			return
+		}
+		e.removing = true
+		e.removalSeq = s.seq.Add(1)
+		e.retries = 0
+		e.value = nil
+		s.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key})
+		if s.cfg.Protocol.ReliableRemoval() {
+			tc.Schedule(timerRetx, s.cfg.Retransmit)
+		} else {
+			tc.Delete()
+			s.emit(Event{Kind: EventRemoved, Key: key})
+		}
+	})
+	if !known {
 		return fmt.Errorf("signal: remove of unknown key %q", key)
 	}
-	stopTimer(&e.refresh)
-	stopTimer(&e.retx)
-	if !s.cfg.Protocol.ExplicitRemoval() {
-		delete(s.entries, key)
-		s.emitLocked(Event{Kind: EventRemoved, Key: key})
-		return nil
-	}
-	s.seq++
-	e.removing = true
-	e.removalSeq = s.seq
-	e.retries = 0
-	e.value = nil
-	s.sendLocked(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key})
-	if s.cfg.Protocol.ReliableRemoval() {
-		s.armRemovalRetxLocked(key, e)
-	} else {
-		delete(s.entries, key)
-		s.emitLocked(Event{Kind: EventRemoved, Key: key})
-	}
-	return nil
+	return err
 }
 
 // Keys returns the keys with live (non-removing) state.
 func (s *Sender) Keys() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]string, 0, len(s.entries))
-	for k, e := range s.entries {
+	out := make([]string, 0, s.live.Load())
+	s.tbl.Range(func(key string, e *senderEntry) bool {
 		if !e.removing {
-			out = append(out, k)
+			out = append(out, key)
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // Close stops all timers, closes the transport, and waits for the receive
 // loop to drain. The events channel is closed afterwards.
 func (s *Sender) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
-	for _, e := range s.entries {
-		stopTimer(&e.refresh)
-		stopTimer(&e.retx)
-	}
-	s.mu.Unlock()
+	close(s.done)
+	s.tbl.Close() // no expiry callback runs past this point
 	err := s.conn.Close()
 	s.wg.Wait()
+	s.eventsMu.Lock()
+	s.eventsDone = true
 	close(s.events)
+	s.eventsMu.Unlock()
 	return err
 }
 
-// --- timers (all rearmed under s.mu) ---
+// --- timers (fired by the state table's wheel goroutines) ---
 
-func stopTimer(t **time.Timer) {
-	if *t != nil {
-		(*t).Stop()
-		*t = nil
-	}
-}
-
-func (s *Sender) armRefreshLocked(key string, e *senderEntry) {
-	if !s.cfg.Protocol.Refreshes() {
+// armRefresh schedules the next per-key refresh; in summary mode the
+// summary loop carries refreshes instead, so no per-key deadline exists.
+func (s *Sender) armRefresh(tc statetable.TimerControl[senderEntry]) {
+	if !s.cfg.Protocol.Refreshes() || s.summaryMode() {
 		return
 	}
-	stopTimer(&e.refresh)
-	e.refresh = time.AfterFunc(s.refreshIntervalLocked(), func() { s.onRefresh(key) })
+	tc.Schedule(timerRefresh, s.refreshInterval())
 }
 
-// refreshIntervalLocked returns the per-key refresh interval, stretched
-// when an aggregate rate bound is configured (scalable timers): with n
-// live keys the aggregate rate is n/interval, so the interval grows to
-// n/MaxRefreshRate once n exceeds MaxRefreshRate·R.
-func (s *Sender) refreshIntervalLocked() time.Duration {
+func (s *Sender) armTriggerRetx(tc statetable.TimerControl[senderEntry]) {
+	if !s.cfg.Protocol.ReliableTrigger() {
+		tc.Cancel(timerRetx) // a reinstall may race a pending removal retx
+		return
+	}
+	tc.Schedule(timerRetx, s.cfg.Retransmit)
+}
+
+// refreshInterval returns the per-key refresh interval, stretched when an
+// aggregate rate bound is configured (scalable timers): with n live keys
+// the aggregate rate is n/interval, so the interval grows to
+// n/MaxRefreshRate once n exceeds MaxRefreshRate·R. The live count is a
+// single atomic read, not a table scan.
+func (s *Sender) refreshInterval() time.Duration {
 	interval := s.cfg.RefreshInterval
 	if s.cfg.MaxRefreshRate <= 0 {
 		return interval
 	}
-	live := 0
-	for _, e := range s.entries {
-		if !e.removing {
-			live++
-		}
-	}
-	if min := time.Duration(float64(live) / s.cfg.MaxRefreshRate * float64(time.Second)); min > interval {
+	if min := time.Duration(float64(s.live.Load()) / s.cfg.MaxRefreshRate * float64(time.Second)); min > interval {
 		interval = min
 	}
 	return interval
 }
 
-func (s *Sender) onRefresh(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+// onExpire dispatches wheel deadlines; it runs on a shard goroutine with
+// the shard locked.
+func (s *Sender) onExpire(key string, kind statetable.TimerKind, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+	if s.closed.Load() {
 		return
 	}
-	e, ok := s.entries[key]
-	if !ok || e.removing {
-		return
+	switch kind {
+	case timerRefresh:
+		if e.removing {
+			return
+		}
+		s.send(wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: key, Value: e.value})
+		s.armRefresh(tc)
+	case timerRetx:
+		if e.removing {
+			s.removalRetx(key, e, tc)
+		} else {
+			s.triggerRetx(key, e, tc)
+		}
 	}
-	s.sendLocked(wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: key, Value: e.value})
-	s.armRefreshLocked(key, e)
 }
 
-func (s *Sender) armTriggerRetxLocked(key string, e *senderEntry) {
-	if !s.cfg.Protocol.ReliableTrigger() {
-		return
-	}
-	stopTimer(&e.retx)
-	e.retx = time.AfterFunc(s.cfg.Retransmit, func() { s.onTriggerRetx(key) })
-}
-
-func (s *Sender) onTriggerRetx(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
-	}
-	e, ok := s.entries[key]
-	if !ok || e.removing || e.ackedSeq >= e.seq {
+func (s *Sender) triggerRetx(key string, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+	if e.ackedSeq >= e.seq {
 		return
 	}
 	if s.cfg.MaxRetransmits > 0 && e.retries >= s.cfg.MaxRetransmits {
-		s.emitLocked(Event{Kind: EventGaveUp, Key: key, Seq: e.seq})
+		s.emit(Event{Kind: EventGaveUp, Key: key, Seq: e.seq})
 		return
 	}
 	e.retries++
-	s.sendLocked(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
-	s.armTriggerRetxLocked(key, e)
+	s.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
+	tc.Schedule(timerRetx, s.cfg.Retransmit)
 }
 
-func (s *Sender) armRemovalRetxLocked(key string, e *senderEntry) {
-	stopTimer(&e.retx)
-	e.retx = time.AfterFunc(s.cfg.Retransmit, func() { s.onRemovalRetx(key) })
-}
-
-func (s *Sender) onRemovalRetx(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return
-	}
-	e, ok := s.entries[key]
-	if !ok || !e.removing {
-		return
-	}
+func (s *Sender) removalRetx(key string, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
 	if s.cfg.MaxRetransmits > 0 && e.retries >= s.cfg.MaxRetransmits {
-		delete(s.entries, key)
-		s.emitLocked(Event{Kind: EventGaveUp, Key: key, Seq: e.removalSeq})
+		seq := e.removalSeq
+		tc.Delete()
+		s.emit(Event{Kind: EventGaveUp, Key: key, Seq: seq})
 		return
 	}
 	e.retries++
-	s.sendLocked(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key})
-	s.armRemovalRetxLocked(key, e)
+	s.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key})
+	tc.Schedule(timerRetx, s.cfg.Retransmit)
+}
+
+// --- summary refresh (RFC 2961-style refresh reduction) ---
+
+// summaryLoop periodically renews every live key with batched summary
+// datagrams instead of one refresh per key.
+func (s *Sender) summaryLoop() {
+	defer s.wg.Done()
+	timer := time.NewTimer(s.summaryInterval())
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			s.summarySweep()
+			timer.Reset(s.summaryInterval())
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// summaryInterval is the sweep period: the refresh interval R, stretched
+// so the aggregate summary-datagram rate (⌈n/SummaryMaxKeys⌉ per sweep)
+// stays under MaxRefreshRate when one is configured.
+func (s *Sender) summaryInterval() time.Duration {
+	interval := s.cfg.RefreshInterval
+	if s.cfg.MaxRefreshRate <= 0 {
+		return interval
+	}
+	datagrams := (float64(s.live.Load()) + float64(s.cfg.SummaryMaxKeys) - 1) / float64(s.cfg.SummaryMaxKeys)
+	if min := time.Duration(datagrams / s.cfg.MaxRefreshRate * float64(time.Second)); min > interval {
+		interval = min
+	}
+	return interval
+}
+
+// summarySweep sends one round of summary refreshes covering every live
+// key and returns the number of datagrams it took.
+func (s *Sender) summarySweep() int {
+	keys := make([]string, 0, s.live.Load())
+	s.tbl.Range(func(key string, e *senderEntry) bool {
+		if !e.removing {
+			keys = append(keys, key)
+		}
+		return true
+	})
+	sent := 0
+	for len(keys) > 0 {
+		n := wire.SummaryFits(keys)
+		if n > s.cfg.SummaryMaxKeys {
+			n = s.cfg.SummaryMaxKeys
+		}
+		if n == 0 {
+			break // unreachable: every installed key fits a datagram
+		}
+		s.send(wire.Message{Type: wire.TypeSummaryRefresh, Seq: s.seq.Load(), Keys: keys[:n]})
+		keys = keys[n:]
+		sent++
+	}
+	return sent
 }
 
 // --- inbound ---
@@ -308,9 +374,7 @@ func (s *Sender) readLoop() {
 		}
 		var m wire.Message
 		if derr := m.UnmarshalBinary(buf[:n]); derr != nil {
-			s.mu.Lock()
-			s.stats.DecodeErrors++
-			s.mu.Unlock()
+			s.ctrs.decodeErrors.Add(1)
 			continue
 		}
 		s.handle(m)
@@ -318,66 +382,85 @@ func (s *Sender) readLoop() {
 }
 
 func (s *Sender) handle(m wire.Message) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return
 	}
-	s.stats.Received[m.Type.String()]++
-	e, ok := s.entries[m.Key]
+	s.ctrs.received[m.Type].Add(1)
 	switch m.Type {
 	case wire.TypeAck:
-		if !ok || e.removing {
-			return
-		}
-		if m.Seq > e.ackedSeq {
-			e.ackedSeq = m.Seq
-		}
-		if e.ackedSeq >= e.seq {
-			stopTimer(&e.retx)
-			e.retries = 0
-			s.emitLocked(Event{Kind: EventAcked, Key: m.Key, Seq: e.seq})
-		}
+		s.tbl.Update(m.Key, func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+			if e.removing {
+				return
+			}
+			if m.Seq > e.ackedSeq {
+				e.ackedSeq = m.Seq
+			}
+			if e.ackedSeq >= e.seq {
+				tc.Cancel(timerRetx)
+				e.retries = 0
+				s.emit(Event{Kind: EventAcked, Key: m.Key, Seq: e.seq})
+			}
+		})
 	case wire.TypeRemovalAck:
-		if !ok || !e.removing || m.Seq < e.removalSeq {
-			return
-		}
-		stopTimer(&e.retx)
-		delete(s.entries, m.Key)
-		s.emitLocked(Event{Kind: EventRemoved, Key: m.Key})
+		s.tbl.Update(m.Key, func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+			if !e.removing || m.Seq < e.removalSeq {
+				return
+			}
+			tc.Cancel(timerRetx)
+			tc.Delete()
+			s.emit(Event{Kind: EventRemoved, Key: m.Key})
+		})
 	case wire.TypeNotify:
 		// The receiver dropped our state (timeout or false signal);
 		// repair by re-triggering if we still own the key.
-		if !ok || e.removing {
-			return
+		s.retrigger(m.Key)
+	case wire.TypeSummaryNack:
+		// The receiver does not hold these keys: fall back from summary
+		// refresh to full triggers for each.
+		for _, key := range m.Keys {
+			s.retrigger(key)
 		}
-		s.seq++
-		e.seq = s.seq
-		e.retries = 0
-		s.sendLocked(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: m.Key, Value: e.value})
-		s.armTriggerRetxLocked(m.Key, e)
-		s.armRefreshLocked(m.Key, e)
-		s.emitLocked(Event{Kind: EventRepaired, Key: m.Key, Seq: e.seq})
 	}
 }
 
-// sendLocked encodes and transmits m; callers hold s.mu.
-func (s *Sender) sendLocked(m wire.Message) {
+// retrigger re-installs key at the receiver with a fresh sequence number.
+func (s *Sender) retrigger(key string) {
+	s.tbl.Update(key, func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+		if e.removing {
+			return
+		}
+		e.seq = s.seq.Add(1)
+		e.retries = 0
+		s.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
+		s.armTriggerRetx(tc)
+		s.armRefresh(tc)
+		s.emit(Event{Kind: EventRepaired, Key: key, Seq: e.seq})
+	})
+}
+
+// send encodes and transmits m. Safe under shard locks: the transport,
+// not the table, serializes writes.
+func (s *Sender) send(m wire.Message) {
 	data, err := m.Append(nil)
 	if err != nil {
 		return
 	}
 	if _, err := s.conn.WriteTo(data, s.peer); err == nil || isNetTemporary(err) {
-		s.stats.Sent[m.Type.String()]++
+		s.ctrs.sent[m.Type].Add(1)
 	}
 }
 
-// emitLocked delivers an event without ever blocking the protocol.
-func (s *Sender) emitLocked(ev Event) {
-	select {
-	case s.events <- ev:
-	default:
+// emit delivers an event without ever blocking the protocol. The read
+// lock fences emission against Close closing the channel mid-send.
+func (s *Sender) emit(ev Event) {
+	s.eventsMu.RLock()
+	if !s.eventsDone {
+		select {
+		case s.events <- ev:
+		default:
+		}
 	}
+	s.eventsMu.RUnlock()
 }
 
 func isNetTemporary(err error) bool {

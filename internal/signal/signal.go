@@ -5,16 +5,27 @@
 // trigger/removal, removal notification) selected by the protocol.
 //
 // Unlike internal/sim, which runs in virtual time for experiments, this
-// package runs in real time with goroutines and time.Timer, making it
-// usable as an actual soft-state signaling library (IGMP-style membership,
-// RSVP-style reservations, P2P registrations) and as a live demonstration
-// of the paper's mechanisms over UDP (see examples/livewire).
+// package runs in real time over goroutines, making it usable as an
+// actual soft-state signaling library (IGMP-style membership, RSVP-style
+// reservations, P2P registrations) and as a live demonstration of the
+// paper's mechanisms over UDP (see examples/livewire).
+//
+// Both endpoints keep their keys in an internal/statetable sharded table:
+// every refresh, retransmit, and state-timeout deadline is multiplexed
+// onto one hierarchical timing wheel per shard, so an endpoint scales to
+// millions of keys with a fixed number of goroutines and no per-key
+// time.Timer. With Config.SummaryRefresh the sender additionally batches
+// refreshes RFC 2961-style: one summary datagram renews up to
+// SummaryMaxKeys keys, and receivers NACK unknown keys so the sender
+// falls back to full triggers.
 package signal
 
 import (
+	"sync/atomic"
 	"time"
 
 	"softstate/internal/singlehop"
+	"softstate/internal/wire"
 )
 
 // Protocol aliases the paper's protocol identifiers.
@@ -54,6 +65,19 @@ type Config struct {
 	// EventBuffer sizes the observability channel (default 256). Events
 	// beyond a full buffer are dropped, never blocking the protocol.
 	EventBuffer int
+	// Shards is the state-table shard count (rounded up to a power of
+	// two; the statetable default when 0). Each shard has its own lock
+	// and timing-wheel goroutine, so this bounds both lock contention and
+	// timer parallelism.
+	Shards int
+	// SummaryRefresh, on a sender, replaces per-key refresh messages with
+	// periodic summary datagrams that each renew up to SummaryMaxKeys
+	// keys (RFC 2961-style refresh reduction). Receivers always accept
+	// summary refreshes regardless of this setting.
+	SummaryRefresh bool
+	// SummaryMaxKeys caps the keys per summary datagram (default 64,
+	// bounded by wire.MaxSummaryKeys and the datagram byte budget).
+	SummaryMaxKeys int
 }
 
 // DefaultConfig returns the paper's deployed-protocol defaults: R = 5 s,
@@ -81,6 +105,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 256
+	}
+	if c.SummaryMaxKeys <= 0 {
+		c.SummaryMaxKeys = 64
+	}
+	if c.SummaryMaxKeys > wire.MaxSummaryKeys {
+		c.SummaryMaxKeys = wire.MaxSummaryKeys
 	}
 	return c
 }
@@ -152,22 +182,6 @@ type Stats struct {
 	DecodeErrors int
 }
 
-func newStats() Stats {
-	return Stats{Sent: make(map[string]int), Received: make(map[string]int)}
-}
-
-func (s Stats) clone() Stats {
-	out := newStats()
-	for k, v := range s.Sent {
-		out.Sent[k] = v
-	}
-	for k, v := range s.Received {
-		out.Received[k] = v
-	}
-	out.DecodeErrors = s.DecodeErrors
-	return out
-}
-
 // TotalSent sums sent datagrams across types.
 func (s Stats) TotalSent() int {
 	n := 0
@@ -175,4 +189,27 @@ func (s Stats) TotalSent() int {
 		n += v
 	}
 	return n
+}
+
+// counters is the internal, contention-free form of Stats: one atomic
+// slot per wire type, indexed by the type value, so shards never share a
+// stats lock.
+type counters struct {
+	sent         [wire.NumTypes]atomic.Int64
+	received     [wire.NumTypes]atomic.Int64
+	decodeErrors atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	out := Stats{Sent: make(map[string]int), Received: make(map[string]int)}
+	for t := wire.TypeTrigger; int(t) < wire.NumTypes; t++ {
+		if n := c.sent[t].Load(); n > 0 {
+			out.Sent[t.String()] = int(n)
+		}
+		if n := c.received[t].Load(); n > 0 {
+			out.Received[t.String()] = int(n)
+		}
+	}
+	out.DecodeErrors = int(c.decodeErrors.Load())
+	return out
 }

@@ -1,0 +1,250 @@
+package signal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"softstate/internal/lossy"
+	"softstate/internal/wire"
+)
+
+// summaryEndpoints builds a connected pair with summary refresh enabled on
+// the sender.
+func summaryEndpoints(t *testing.T, proto Protocol, maxKeys int) (*Sender, *Receiver) {
+	t.Helper()
+	a, b, err := lossy.Pipe(lossy.Config{Delay: time.Millisecond, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(proto)
+	cfg.SummaryRefresh = true
+	cfg.SummaryMaxKeys = maxKeys
+	snd, err := NewSender(a, b.LocalAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		snd.Close()
+		rcv.Close()
+	})
+	return snd, rcv
+}
+
+// TestSummaryRefreshKeepsStateAlive: with summary refresh on, no per-key
+// refresh datagrams flow, yet state survives well past the timeout.
+func TestSummaryRefreshKeepsStateAlive(t *testing.T) {
+	snd, rcv := summaryEndpoints(t, SS, 64)
+	const keys = 100
+	for i := 0; i < keys; i++ {
+		if err := snd.Install(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "all installs", func() bool { return rcv.Len() == keys })
+	time.Sleep(4 * fastConfig(SS).Timeout)
+	if got := rcv.Len(); got != keys {
+		t.Fatalf("receiver holds %d of %d keys after summary-refresh window", got, keys)
+	}
+	st := snd.Stats()
+	if st.Sent["refresh"] != 0 {
+		t.Fatalf("summary mode sent %d per-key refreshes", st.Sent["refresh"])
+	}
+	if st.Sent["summary-refresh"] == 0 {
+		t.Fatal("no summary refreshes sent")
+	}
+	if rcv.Stats().Received["summary-refresh"] == 0 {
+		t.Fatal("receiver saw no summary refreshes")
+	}
+}
+
+// TestSummaryRefreshReducesDatagrams is the paper-facing claim (and the
+// acceptance bar): at 64 keys per summary, refresh traffic drops at least
+// 10× against per-key refreshes for the same key count and interval.
+func TestSummaryRefreshReducesDatagrams(t *testing.T) {
+	const keys = 256
+	window := 10 * fastConfig(SS).RefreshInterval
+
+	countRefreshes := func(summary bool) int {
+		a, b, err := lossy.Pipe(lossy.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig(SS)
+		cfg.Timeout = time.Minute // isolate refresh traffic from expiry
+		cfg.SummaryRefresh = summary
+		cfg.SummaryMaxKeys = 64
+		snd, err := NewSender(a, b.LocalAddr(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer snd.Close()
+		defer b.Close()
+		for i := 0; i < keys; i++ {
+			if err := snd.Install(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(window)
+		st := snd.Stats()
+		if summary {
+			return st.Sent["summary-refresh"]
+		}
+		return st.Sent["refresh"]
+	}
+
+	perKey := countRefreshes(false)
+	summaries := countRefreshes(true)
+	if perKey == 0 || summaries == 0 {
+		t.Fatalf("no refresh traffic: per-key %d, summaries %d", perKey, summaries)
+	}
+	if ratio := float64(perKey) / float64(summaries); ratio < 10 {
+		t.Fatalf("summary refresh reduced datagrams only %.1f× (%d → %d), want ≥10×",
+			ratio, perKey, summaries)
+	}
+}
+
+// TestSummaryNackRepairsUnknownKey: a receiver that does not hold a
+// summarized key NACKs it and the sender re-triggers, reinstalling the
+// state end to end.
+func TestSummaryNackRepairsUnknownKey(t *testing.T) {
+	snd, rcv := summaryEndpoints(t, SS, 64)
+	if err := snd.Install("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
+	// Tear the state down at the receiver only: expiry is silent for SS
+	// (no notify), so only the summary NACK path can repair it.
+	rcv.tbl.Delete("k")
+	if _, ok := rcv.Get("k"); ok {
+		t.Fatal("test setup: key still installed")
+	}
+	eventually(t, "NACK-driven reinstall", func() bool { _, ok := rcv.Get("k"); return ok })
+	if snd.Stats().Received["summary-nack"] == 0 {
+		t.Fatal("sender saw no summary NACK")
+	}
+	if rcv.Stats().Sent["summary-nack"] == 0 {
+		t.Fatal("receiver sent no summary NACK")
+	}
+}
+
+// TestSummaryChunking: more keys than SummaryMaxKeys are spread across
+// several datagrams per sweep, all of which renew state.
+func TestSummaryChunking(t *testing.T) {
+	snd, rcv := summaryEndpoints(t, SS, 8)
+	const keys = 50 // ⌈50/8⌉ = 7 datagrams per sweep
+	for i := 0; i < keys; i++ {
+		if err := snd.Install(fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eventually(t, "all installs", func() bool { return rcv.Len() == keys })
+	sent := snd.summarySweep()
+	if want := (keys + 7) / 8; sent != want {
+		t.Fatalf("sweep sent %d datagrams, want %d", sent, want)
+	}
+	time.Sleep(4 * fastConfig(SS).Timeout)
+	if got := rcv.Len(); got != keys {
+		t.Fatalf("receiver holds %d of %d keys", got, keys)
+	}
+}
+
+// TestSummaryRemovedKeyNotRenewed: a key being removed must not ride
+// along in summary sweeps and spuriously survive at the receiver.
+func TestSummaryRemovedKeyNotRenewed(t *testing.T) {
+	snd, rcv := summaryEndpoints(t, SS, 64)
+	snd.Install("stay", []byte("v"))
+	snd.Install("go", []byte("v"))
+	eventually(t, "installs", func() bool { return rcv.Len() == 2 })
+	if err := snd.Remove("go"); err != nil {
+		t.Fatal(err)
+	}
+	// SS removal is silent: the receiver must time "go" out even while
+	// summaries keep renewing "stay".
+	eventually(t, "timeout of removed key", func() bool { _, ok := rcv.Get("go"); return !ok })
+	if _, ok := rcv.Get("stay"); !ok {
+		t.Fatal("summary stopped renewing the surviving key")
+	}
+}
+
+// TestSummaryRefreshCrossesProtocols: summary refresh composes with
+// reliable-trigger protocols (acks still flow for triggers).
+func TestSummaryRefreshCrossesProtocols(t *testing.T) {
+	snd, rcv := summaryEndpoints(t, SSRT, 64)
+	snd.Install("k", []byte("v"))
+	eventually(t, "install+ack", func() bool {
+		return snd.Stats().Received["ack"] > 0 && rcv.Len() == 1
+	})
+	time.Sleep(4 * fastConfig(SSRT).Timeout)
+	if rcv.Len() != 1 {
+		t.Fatal("state expired under SSRT summary refresh")
+	}
+}
+
+// TestSummaryIntervalStretch: MaxRefreshRate stretches the sweep period
+// based on datagram count, not key count.
+func TestSummaryIntervalStretch(t *testing.T) {
+	a, b, err := lossy.Pipe(lossy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := Config{
+		Protocol:        SS,
+		RefreshInterval: 10 * time.Millisecond,
+		Timeout:         time.Minute,
+		SummaryRefresh:  true,
+		SummaryMaxKeys:  64,
+		MaxRefreshRate:  4, // 4 datagrams/s aggregate
+	}
+	snd, err := NewSender(a, b.LocalAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	// 128 keys → 2 datagrams per sweep → stretched period = 2/4 = 500ms,
+	// far above the configured 10ms.
+	for i := 0; i < 128; i++ {
+		if err := snd.Install(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := snd.summaryInterval(); got < 400*time.Millisecond {
+		t.Fatalf("summary interval = %v, want ≥ 400ms under rate cap", got)
+	}
+}
+
+// TestSummaryWireLimitRespected: sweeps never construct a datagram the
+// codec rejects, even with maximum-length keys.
+func TestSummaryWireLimitRespected(t *testing.T) {
+	a, b, err := lossy.Pipe(lossy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	cfg := fastConfig(SS)
+	cfg.SummaryRefresh = true
+	cfg.SummaryMaxKeys = wire.MaxSummaryKeys // byte budget, not count, binds
+	snd, err := NewSender(a, b.LocalAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snd.Close()
+	long := make([]byte, wire.MaxKeyLen)
+	for i := range long {
+		long[i] = 'x'
+	}
+	for i := 0; i < 40; i++ {
+		key := fmt.Sprintf("%s/%04d", long[:wire.MaxKeyLen-5], i)
+		if err := snd.Install(key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent := snd.summarySweep(); sent < 2 {
+		t.Fatalf("oversized key set fit %d datagrams, expected chunking", sent)
+	}
+}

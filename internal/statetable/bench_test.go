@@ -1,0 +1,109 @@
+package statetable
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// BenchmarkStateTable_1MKeys installs one million keys, each with an armed
+// refresh-style timer, into one table. One op is the full 1M-key fill. It
+// reports per-key memory and the goroutine count to show both stay flat:
+// the wheel multiplexes a million deadlines onto NumShards goroutines
+// where the old runtime would have spawned a million runtime timers.
+func BenchmarkStateTable_1MKeys(b *testing.B) {
+	const n = 1_000_000
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("flow/%07d", i)
+	}
+	var fired atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for iter := 0; iter < b.N; iter++ {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		g0 := runtime.NumGoroutine()
+		tbl := New(Config[uint64]{
+			Shards: 64,
+			OnExpire: func(_ string, _ TimerKind, _ *uint64, tc TimerControl[uint64]) {
+				fired.Add(1)
+				tc.Schedule(0, time.Hour)
+			},
+		})
+		for i, k := range keys {
+			v := uint64(i)
+			tbl.Upsert(k, func(slot *uint64, _ bool, tc TimerControl[uint64]) {
+				*slot = v
+				tc.Schedule(0, time.Hour) // far deadline: lives in an upper wheel level
+			})
+		}
+		if got := tbl.Len(); got != n {
+			b.Fatalf("Len = %d, want %d", got, n)
+		}
+		goroutines := runtime.NumGoroutine() - g0
+		if goroutines > tbl.NumShards()+4 {
+			b.Fatalf("per-key goroutines: %d goroutines for %d keys", goroutines, n)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		b.ReportMetric(float64(after.HeapAlloc-before.HeapAlloc)/n, "B/key")
+		b.ReportMetric(float64(goroutines), "goroutines")
+		b.StopTimer()
+		tbl.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(n), "keys/op")
+}
+
+// BenchmarkStateTablePut measures steady-state upsert+schedule throughput
+// across all CPUs.
+func BenchmarkStateTablePut(b *testing.B) {
+	tbl := New(Config[int]{Shards: 64})
+	defer tbl.Close()
+	var ctr atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			key := fmt.Sprintf("k%d", i&0xFFFFF)
+			tbl.Upsert(key, func(_ *int, _ bool, tc TimerControl[int]) {
+				tc.Schedule(0, time.Minute)
+			})
+		}
+	})
+}
+
+// BenchmarkStateTableGet measures read throughput on a warm table.
+func BenchmarkStateTableGet(b *testing.B) {
+	tbl := New(Config[int]{Shards: 64})
+	defer tbl.Close()
+	const warm = 1 << 16
+	for i := 0; i < warm; i++ {
+		tbl.Upsert(fmt.Sprintf("k%d", i), nil)
+	}
+	var ctr atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			tbl.Get(fmt.Sprintf("k%d", i&(warm-1)))
+		}
+	})
+}
+
+// BenchmarkWheelScheduleCancel measures the raw arm/disarm cost: two O(1)
+// list operations, no allocation.
+func BenchmarkWheelScheduleCancel(b *testing.B) {
+	var w wheel[int]
+	e := &entry[int]{key: "k"}
+	n := &e.timers[0]
+	n.owner = e
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.schedule(n, int64(i%100_000)+w.now+1)
+		w.cancel(n)
+	}
+}

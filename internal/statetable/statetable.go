@@ -1,0 +1,379 @@
+// Package statetable is a sharded, concurrent soft-state key table with a
+// hierarchical timing wheel per shard. It is the scaling substrate for
+// internal/signal: where the naive runtime kept one mutex and one
+// time.Timer per key per endpoint, the table hashes keys (FNV-1a) across a
+// power-of-two number of shards, guards each shard with its own lock, and
+// multiplexes every refresh/timeout/retransmit deadline of a shard onto a
+// single goroutine driving a timing wheel — millions of keys cost millions
+// of map entries, not millions of timers or goroutines.
+//
+// Each entry owns NumTimerKinds independently schedulable timers whose
+// nodes are embedded in the entry, so arming, rearming, and expiry never
+// allocate. Expiry callbacks and the closures passed to Upsert and Update
+// run with the entry's shard locked; they mutate the entry and its timers
+// through the TimerControl handle and must not call other Table methods
+// (that would deadlock on the same shard).
+package statetable
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TimerKind selects one of an entry's independent timer slots.
+type TimerKind uint8
+
+// NumTimerKinds is how many timers each entry owns (kinds 0 and 1). Two
+// covers every endpoint in internal/signal: a sender arms refresh and
+// retransmit, a receiver arms state-timeout.
+const NumTimerKinds = 2
+
+// DefaultShards is the shard count used when Config.Shards is 0.
+const DefaultShards = 16
+
+// DefaultTick is the wheel granularity used when Config.Tick is 0: timers
+// fire within about one tick of their deadline.
+const DefaultTick = time.Millisecond
+
+// ExpireFunc is called when a timer fires. It runs on the shard's wheel
+// goroutine with the shard locked; use tc to reschedule, cancel, or delete,
+// and do not call Table methods from inside it.
+type ExpireFunc[V any] func(key string, kind TimerKind, v *V, tc TimerControl[V])
+
+// Config parameterizes a Table.
+type Config[V any] struct {
+	// Shards is the shard count, rounded up to a power of two
+	// (DefaultShards when 0). Each shard has one lock, one wheel, and one
+	// goroutine.
+	Shards int
+	// Tick is the timing-wheel granularity (DefaultTick when 0).
+	Tick time.Duration
+	// OnExpire handles timer expiry. A Table without it still works as a
+	// plain sharded map, but scheduled timers fire into nothing.
+	OnExpire ExpireFunc[V]
+}
+
+// entry is one key's slot: the caller's value plus the embedded timers.
+type entry[V any] struct {
+	key    string
+	value  V
+	timers [NumTimerKinds]timerNode[V]
+}
+
+// shard is one lock domain: a map partition plus its timing wheel.
+type shard[V any] struct {
+	mu       sync.Mutex
+	entries  map[string]*entry[V]
+	wheel    wheel[V]
+	nextWake int64 // absolute tick the wheel goroutine sleeps until
+	needPoke bool  // a deadline earlier than nextWake was scheduled
+	wake     chan struct{}
+}
+
+// Table is the sharded soft-state table. All methods are safe for
+// concurrent use.
+type Table[V any] struct {
+	cfg    Config[V]
+	tick   time.Duration
+	start  time.Time
+	shards []shard[V]
+	mask   uint32
+	size   atomic.Int64
+	done   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New creates a table and starts its shard goroutines.
+func New[V any](cfg Config[V]) *Table[V] {
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	tick := cfg.Tick
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	t := &Table[V]{
+		cfg:    cfg,
+		tick:   tick,
+		start:  time.Now(),
+		shards: make([]shard[V], shards),
+		mask:   uint32(shards - 1),
+		done:   make(chan struct{}),
+	}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.entries = make(map[string]*entry[V])
+		sh.nextWake = int64(1)<<62 - 1
+		sh.wake = make(chan struct{}, 1)
+		t.wg.Add(1)
+		go t.runShard(sh)
+	}
+	return t
+}
+
+// NumShards returns the (power-of-two) shard count.
+func (t *Table[V]) NumShards() int { return len(t.shards) }
+
+// Len returns the number of entries.
+func (t *Table[V]) Len() int { return int(t.size.Load()) }
+
+// Close stops the shard goroutines and waits for in-flight expiry
+// callbacks to finish. Timers never fire after Close returns; the map
+// contents remain readable.
+func (t *Table[V]) Close() {
+	if t.closed.Swap(true) {
+		return
+	}
+	close(t.done)
+	t.wg.Wait()
+}
+
+// fnv32a is the allocation-free FNV-1a hash used to pick a shard.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (t *Table[V]) shardOf(key string) *shard[V] {
+	return &t.shards[fnv32a(key)&t.mask]
+}
+
+// tickNow converts wall-clock progress to wheel ticks.
+func (t *Table[V]) tickNow() int64 {
+	return int64(time.Since(t.start) / t.tick)
+}
+
+// deadlineTick converts a relative delay to an absolute tick, rounding up
+// so timers never fire early.
+func (t *Table[V]) deadlineTick(delay time.Duration) int64 {
+	if delay < 0 {
+		delay = 0
+	}
+	return int64((time.Since(t.start) + delay + t.tick - 1) / t.tick)
+}
+
+// Upsert locks the key's shard and calls fn with the entry's value,
+// creating the entry first if absent (created reports which). fn may be
+// nil to just ensure presence.
+func (t *Table[V]) Upsert(key string, fn func(v *V, created bool, tc TimerControl[V])) {
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if !ok {
+		e = &entry[V]{key: key}
+		for i := range e.timers {
+			e.timers[i].owner = e
+			e.timers[i].kind = TimerKind(i)
+		}
+		sh.entries[key] = e
+		t.size.Add(1)
+	}
+	if fn != nil {
+		fn(&e.value, !ok, TimerControl[V]{t: t, sh: sh, e: e})
+	}
+	t.unlockAndPoke(sh)
+}
+
+// Update locks the key's shard and calls fn if the entry exists, reporting
+// whether it did.
+func (t *Table[V]) Update(key string, fn func(v *V, tc TimerControl[V])) bool {
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	if ok && fn != nil {
+		fn(&e.value, TimerControl[V]{t: t, sh: sh, e: e})
+	}
+	t.unlockAndPoke(sh)
+	return ok
+}
+
+// Get returns a copy of the value stored for key.
+func (t *Table[V]) Get(key string) (V, bool) {
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[key]; ok {
+		return e.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Delete removes key, cancelling its timers, and reports whether it
+// existed.
+func (t *Table[V]) Delete(key string) bool {
+	sh := t.shardOf(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
+	if !ok {
+		return false
+	}
+	t.dropLocked(sh, e)
+	return true
+}
+
+// Schedule arms the kind timer of key to fire after delay, reporting
+// whether the key exists. Rearming an armed timer moves its deadline.
+func (t *Table[V]) Schedule(key string, kind TimerKind, delay time.Duration) bool {
+	return t.Update(key, func(_ *V, tc TimerControl[V]) { tc.Schedule(kind, delay) })
+}
+
+// Cancel disarms the kind timer of key, reporting whether the key exists.
+// After Cancel returns, the timer's callback either already completed or
+// will never run.
+func (t *Table[V]) Cancel(key string, kind TimerKind) bool {
+	return t.Update(key, func(_ *V, tc TimerControl[V]) { tc.Cancel(kind) })
+}
+
+// Range calls fn for every entry until fn returns false, locking one shard
+// at a time. fn must not call Table methods. Entries added or removed
+// concurrently in other shards may or may not be seen.
+func (t *Table[V]) Range(fn func(key string, v *V) bool) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if !fn(e.key, &e.value) {
+				sh.mu.Unlock()
+				return
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// Keys returns all keys in no particular order.
+func (t *Table[V]) Keys() []string {
+	out := make([]string, 0, t.Len())
+	t.Range(func(key string, _ *V) bool {
+		out = append(out, key)
+		return true
+	})
+	return out
+}
+
+// dropLocked removes e from its shard; callers hold sh.mu.
+func (t *Table[V]) dropLocked(sh *shard[V], e *entry[V]) {
+	for i := range e.timers {
+		sh.wheel.cancel(&e.timers[i])
+	}
+	delete(sh.entries, e.key)
+	t.size.Add(-1)
+}
+
+// unlockAndPoke releases the shard and wakes its wheel goroutine if an
+// earlier deadline was scheduled while the lock was held.
+func (t *Table[V]) unlockAndPoke(sh *shard[V]) {
+	poke := sh.needPoke
+	sh.needPoke = false
+	sh.mu.Unlock()
+	if poke {
+		select {
+		case sh.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// TimerControl mutates one entry's timers and lifetime. It is only valid
+// inside the closure or expiry callback it was passed to, while the shard
+// lock is held.
+type TimerControl[V any] struct {
+	t  *Table[V]
+	sh *shard[V]
+	e  *entry[V]
+}
+
+// Key returns the entry's key.
+func (tc TimerControl[V]) Key() string { return tc.e.key }
+
+// Schedule arms the kind timer to fire after delay, replacing any earlier
+// deadline. A non-positive delay fires on the next wheel tick.
+func (tc TimerControl[V]) Schedule(kind TimerKind, delay time.Duration) {
+	n := &tc.e.timers[kind]
+	tc.sh.wheel.schedule(n, tc.t.deadlineTick(delay))
+	if n.deadline < tc.sh.nextWake {
+		tc.sh.needPoke = true
+	}
+}
+
+// Cancel disarms the kind timer and suppresses any pending fire.
+func (tc TimerControl[V]) Cancel(kind TimerKind) {
+	tc.sh.wheel.cancel(&tc.e.timers[kind])
+}
+
+// Delete removes the entry, cancelling all its timers.
+func (tc TimerControl[V]) Delete() {
+	tc.t.dropLocked(tc.sh, tc.e)
+}
+
+// runShard is the shard's wheel goroutine: it advances the wheel to the
+// current tick, fires expired timers, and sleeps until the next event.
+func (t *Table[V]) runShard(sh *shard[V]) {
+	defer t.wg.Done()
+	sleep := time.NewTimer(time.Hour)
+	defer sleep.Stop()
+	for {
+		sh.mu.Lock()
+		fired := sh.wheel.advance(t.tickNow())
+		for fired != nil {
+			n := fired
+			fired = n.qnext
+			n.qnext = nil
+			if n.state != timerQueued {
+				continue // cancelled or rescheduled while queued
+			}
+			n.state = timerIdle
+			if t.cfg.OnExpire != nil {
+				e := n.owner
+				t.cfg.OnExpire(e.key, n.kind, &e.value, TimerControl[V]{t: t, sh: sh, e: e})
+			}
+		}
+		var wait time.Duration
+		idle := sh.wheel.count == 0
+		if idle {
+			sh.nextWake = int64(1)<<62 - 1
+		} else {
+			next := sh.wheel.nextEventTick()
+			sh.nextWake = next
+			wait = t.start.Add(time.Duration(next) * t.tick).Sub(time.Now())
+		}
+		sh.needPoke = false
+		sh.mu.Unlock()
+
+		if idle {
+			select {
+			case <-sh.wake:
+			case <-t.done:
+				return
+			}
+		} else if wait > 0 {
+			if !sleep.Stop() {
+				select {
+				case <-sleep.C:
+				default:
+				}
+			}
+			sleep.Reset(wait)
+			select {
+			case <-sleep.C:
+			case <-sh.wake:
+			case <-t.done:
+				return
+			}
+		}
+		// wait ≤ 0: the next event is already due; loop immediately.
+	}
+}

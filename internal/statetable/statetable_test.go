@@ -1,0 +1,333 @@
+package statetable
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// eventually polls cond until it holds or the deadline passes.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestTableBasics(t *testing.T) {
+	tbl := New(Config[string]{Shards: 4})
+	defer tbl.Close()
+	tbl.Upsert("a", func(v *string, created bool, _ TimerControl[string]) {
+		if !created {
+			t.Fatal("first upsert not created")
+		}
+		*v = "1"
+	})
+	tbl.Upsert("a", func(v *string, created bool, _ TimerControl[string]) {
+		if created {
+			t.Fatal("second upsert created")
+		}
+		*v = "2"
+	})
+	if v, ok := tbl.Get("a"); !ok || v != "2" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if _, ok := tbl.Get("missing"); ok {
+		t.Fatal("Get invented a key")
+	}
+	if tbl.Update("missing", nil) {
+		t.Fatal("Update invented a key")
+	}
+	tbl.Upsert("b", func(v *string, _ bool, _ TimerControl[string]) { *v = "3" })
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	keys := tbl.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	seen := map[string]string{}
+	tbl.Range(func(k string, v *string) bool {
+		seen[k] = *v
+		return true
+	})
+	if seen["a"] != "2" || seen["b"] != "3" {
+		t.Fatalf("Range saw %v", seen)
+	}
+	if !tbl.Delete("a") || tbl.Delete("a") {
+		t.Fatal("Delete bookkeeping wrong")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len after delete = %d", tbl.Len())
+	}
+}
+
+func TestTableRangeEarlyStop(t *testing.T) {
+	tbl := New(Config[int]{Shards: 8})
+	defer tbl.Close()
+	for i := 0; i < 100; i++ {
+		tbl.Upsert(fmt.Sprintf("k%d", i), nil)
+	}
+	n := 0
+	tbl.Range(func(string, *int) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("Range visited %d entries after early stop", n)
+	}
+}
+
+func TestShardCountRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, DefaultShards}, {1, 1}, {3, 4}, {16, 16}, {33, 64}} {
+		tbl := New(Config[int]{Shards: c.in})
+		if got := tbl.NumShards(); got != c.want {
+			t.Fatalf("Shards %d rounded to %d, want %d", c.in, got, c.want)
+		}
+		tbl.Close()
+	}
+}
+
+func TestExpireFires(t *testing.T) {
+	var fired atomic.Int32
+	tbl := New(Config[int]{
+		Shards: 2,
+		OnExpire: func(key string, kind TimerKind, v *int, tc TimerControl[int]) {
+			if key != "k" || kind != 1 || *v != 42 {
+				t.Errorf("expire key=%q kind=%d v=%d", key, kind, *v)
+			}
+			fired.Add(1)
+		},
+	})
+	defer tbl.Close()
+	tbl.Upsert("k", func(v *int, _ bool, tc TimerControl[int]) {
+		*v = 42
+		tc.Schedule(1, 20*time.Millisecond)
+	})
+	eventually(t, "expiry", func() bool { return fired.Load() == 1 })
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() != 1 {
+		t.Fatalf("timer fired %d times", fired.Load())
+	}
+}
+
+// TestPastDeadlineFiresImmediately: a zero or negative delay fires on the
+// next tick, not never.
+func TestPastDeadlineFiresImmediately(t *testing.T) {
+	var fired atomic.Int32
+	tbl := New(Config[int]{
+		OnExpire: func(string, TimerKind, *int, TimerControl[int]) { fired.Add(1) },
+	})
+	defer tbl.Close()
+	tbl.Upsert("zero", func(_ *int, _ bool, tc TimerControl[int]) { tc.Schedule(0, 0) })
+	tbl.Upsert("negative", func(_ *int, _ bool, tc TimerControl[int]) { tc.Schedule(0, -time.Hour) })
+	start := time.Now()
+	eventually(t, "immediate expiry", func() bool { return fired.Load() == 2 })
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("past deadlines took %v to fire", elapsed)
+	}
+}
+
+// TestRescheduleWhileFiring: the expiry callback rearming its own timer
+// produces a steady periodic stream, and an external reschedule racing the
+// fire is honoured (the timer keeps running on the new cadence).
+func TestRescheduleWhileFiring(t *testing.T) {
+	var fired atomic.Int32
+	tbl := New(Config[int]{
+		OnExpire: func(_ string, _ TimerKind, _ *int, tc TimerControl[int]) {
+			fired.Add(1)
+			tc.Schedule(0, 5*time.Millisecond)
+		},
+	})
+	defer tbl.Close()
+	tbl.Upsert("periodic", func(_ *int, _ bool, tc TimerControl[int]) {
+		tc.Schedule(0, 5*time.Millisecond)
+	})
+	eventually(t, "five periodic fires", func() bool { return fired.Load() >= 5 })
+	// Race external reschedules against in-callback reschedules.
+	for i := 0; i < 100; i++ {
+		tbl.Schedule("periodic", 0, time.Millisecond)
+	}
+	before := fired.Load()
+	eventually(t, "fires continue after racing reschedules", func() bool {
+		return fired.Load() >= before+5
+	})
+}
+
+// TestReschedulePushesDeadlineOut: rearming with a later deadline replaces
+// the earlier one; the timer must not fire at the original time.
+func TestReschedulePushesDeadlineOut(t *testing.T) {
+	var fired atomic.Int32
+	var firedAt atomic.Int64
+	tbl := New(Config[int]{
+		OnExpire: func(string, TimerKind, *int, TimerControl[int]) {
+			fired.Add(1)
+			firedAt.Store(time.Now().UnixNano())
+		},
+	})
+	defer tbl.Close()
+	start := time.Now()
+	tbl.Upsert("k", func(_ *int, _ bool, tc TimerControl[int]) { tc.Schedule(0, 30*time.Millisecond) })
+	tbl.Schedule("k", 0, 150*time.Millisecond)
+	eventually(t, "rescheduled expiry", func() bool { return fired.Load() == 1 })
+	if elapsed := time.Duration(firedAt.Load() - start.UnixNano()); elapsed < 100*time.Millisecond {
+		t.Fatalf("fired after %v despite reschedule to 150ms", elapsed)
+	}
+}
+
+// TestStopVsFireRace: once Cancel returns, the callback either already ran
+// or never will. Hammered to catch ordering bugs under -race.
+func TestStopVsFireRace(t *testing.T) {
+	var fired atomic.Int32
+	tbl := New(Config[int]{
+		Tick:     100 * time.Microsecond,
+		OnExpire: func(string, TimerKind, *int, TimerControl[int]) { fired.Add(1) },
+	})
+	defer tbl.Close()
+	tbl.Upsert("k", nil)
+	for i := 0; i < 300; i++ {
+		tbl.Schedule("k", 0, 200*time.Microsecond)
+		time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+		tbl.Cancel("k", 0)
+		settled := fired.Load()
+		time.Sleep(time.Millisecond)
+		if got := fired.Load(); got != settled {
+			t.Fatalf("iteration %d: timer fired after Cancel returned (%d -> %d)", i, settled, got)
+		}
+	}
+}
+
+// TestCancelUnknownKindSafe: cancelling a never-scheduled timer and
+// deleting entries with armed timers must not disturb the wheel.
+func TestCancelAndDeleteArmed(t *testing.T) {
+	var fired atomic.Int32
+	tbl := New(Config[int]{
+		OnExpire: func(string, TimerKind, *int, TimerControl[int]) { fired.Add(1) },
+	})
+	defer tbl.Close()
+	tbl.Upsert("keep", func(_ *int, _ bool, tc TimerControl[int]) { tc.Schedule(0, 20*time.Millisecond) })
+	tbl.Upsert("drop", func(_ *int, _ bool, tc TimerControl[int]) {
+		tc.Schedule(0, 20*time.Millisecond)
+		tc.Schedule(1, 20*time.Millisecond)
+	})
+	tbl.Cancel("keep", 1) // never armed; no-op
+	tbl.Delete("drop")    // cancels both armed timers
+	eventually(t, "surviving timer", func() bool { return fired.Load() == 1 })
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() != 1 {
+		t.Fatalf("fired %d times; deleted entry's timers leaked", fired.Load())
+	}
+}
+
+// TestDeleteFromCallback: tc.Delete inside OnExpire removes the entry —
+// the receiver state-timeout pattern.
+func TestDeleteFromCallback(t *testing.T) {
+	tbl := New(Config[int]{
+		OnExpire: func(_ string, _ TimerKind, _ *int, tc TimerControl[int]) { tc.Delete() },
+	})
+	defer tbl.Close()
+	for i := 0; i < 50; i++ {
+		tbl.Upsert(fmt.Sprintf("k%d", i), func(_ *int, _ bool, tc TimerControl[int]) {
+			tc.Schedule(0, 10*time.Millisecond)
+		})
+	}
+	eventually(t, "all entries expired away", func() bool { return tbl.Len() == 0 })
+}
+
+// TestMassExpiry100kOneTick: 100k keys with identical deadlines all fire,
+// with goroutine count bounded by the shard count, not the key count.
+func TestMassExpiry100kOneTick(t *testing.T) {
+	const n = 100_000
+	before := runtime.NumGoroutine()
+	var fired atomic.Int32
+	tbl := New(Config[int]{
+		Shards:   8,
+		Tick:     10 * time.Millisecond,
+		OnExpire: func(_ string, _ TimerKind, _ *int, tc TimerControl[int]) { fired.Add(1) },
+	})
+	defer tbl.Close()
+	deadline := 100 * time.Millisecond
+	for i := 0; i < n; i++ {
+		tbl.Upsert(fmt.Sprintf("key/%d", i), func(_ *int, _ bool, tc TimerControl[int]) {
+			tc.Schedule(0, deadline)
+		})
+	}
+	if g := runtime.NumGoroutine(); g > before+tbl.NumShards()+8 {
+		t.Fatalf("goroutines grew to %d for %d keys", g, n)
+	}
+	eventually(t, "mass expiry", func() bool { return fired.Load() == n })
+}
+
+// TestCloseStopsFiring: no callback runs after Close returns.
+func TestCloseStopsFiring(t *testing.T) {
+	var fired atomic.Int32
+	tbl := New(Config[int]{
+		OnExpire: func(string, TimerKind, *int, TimerControl[int]) { fired.Add(1) },
+	})
+	for i := 0; i < 100; i++ {
+		tbl.Upsert(fmt.Sprintf("k%d", i), func(_ *int, _ bool, tc TimerControl[int]) {
+			tc.Schedule(0, time.Duration(i)*time.Millisecond)
+		})
+	}
+	tbl.Close()
+	settled := fired.Load()
+	time.Sleep(150 * time.Millisecond)
+	if got := fired.Load(); got != settled {
+		t.Fatalf("timers fired after Close (%d -> %d)", settled, got)
+	}
+	if tbl.Len() != 100 {
+		t.Fatalf("Len after close = %d", tbl.Len())
+	}
+	tbl.Close() // double close is a no-op
+}
+
+// TestConcurrentChurn hammers every operation from many goroutines; run
+// with -race this is the table's memory-model test.
+func TestConcurrentChurn(t *testing.T) {
+	tbl := New(Config[int]{
+		Shards: 8,
+		Tick:   time.Millisecond,
+		OnExpire: func(_ string, kind TimerKind, v *int, tc TimerControl[int]) {
+			*v++
+			if *v%3 == 0 {
+				tc.Delete()
+			} else {
+				tc.Schedule(kind, time.Millisecond)
+			}
+		},
+	})
+	defer tbl.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%64)
+				switch i % 5 {
+				case 0:
+					tbl.Upsert(key, func(_ *int, _ bool, tc TimerControl[int]) {
+						tc.Schedule(TimerKind(i%NumTimerKinds), time.Duration(i%4)*time.Millisecond)
+					})
+				case 1:
+					tbl.Get(key)
+				case 2:
+					tbl.Schedule(key, TimerKind(i%NumTimerKinds), time.Millisecond)
+				case 3:
+					tbl.Cancel(key, TimerKind(i%NumTimerKinds))
+				case 4:
+					tbl.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

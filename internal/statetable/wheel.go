@@ -1,0 +1,172 @@
+package statetable
+
+// The hierarchical timing wheel multiplexes every deadline of a shard onto
+// one expiry scan, replacing one time.Timer (and its runtime heap entry)
+// per key. Level l has wheelSlots buckets of wheelSlots^l ticks each, so
+// four levels of 256 cover 2^32 ticks — 49 days at the 1 ms default tick.
+// A timer is bucketed at the lowest level whose span still contains its
+// delta; when the clock crosses a level boundary the matching upper bucket
+// cascades down, so a timer is rehashed at most wheelLevels-1 times in its
+// life and insert/cancel/expire are all O(1).
+//
+// All wheel methods require the owning shard's lock.
+
+const (
+	wheelBits   = 8
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 4
+	// wheelSpan is the horizon in ticks; farther deadlines are clamped to
+	// it and simply rehash on the way in.
+	wheelSpan = int64(1) << (wheelBits * wheelLevels)
+)
+
+// Timer lifecycle states.
+const (
+	timerIdle   uint8 = iota // not scheduled
+	timerArmed               // linked into a wheel bucket
+	timerQueued              // collected for firing, callback pending
+)
+
+// timerNode is one schedulable deadline, embedded in its entry so arming a
+// timer never allocates. Bucket membership is kernel-hlist style: pprev
+// points at the previous node's next field (or the bucket head), making
+// unlink O(1) with no per-bucket sentinels. qnext is separate linkage for
+// the expired chain, so a callback rescheduling a still-queued node cannot
+// corrupt the chain being drained.
+type timerNode[V any] struct {
+	next     *timerNode[V]
+	pprev    **timerNode[V]
+	qnext    *timerNode[V]
+	owner    *entry[V]
+	deadline int64 // absolute tick
+	kind     TimerKind
+	state    uint8
+}
+
+// wheel is the per-shard hierarchical timing wheel.
+type wheel[V any] struct {
+	now   int64 // last tick advanced to
+	count int   // armed timers
+	slots [wheelLevels][wheelSlots]*timerNode[V]
+}
+
+// schedule (re)arms n for the given absolute tick. Past deadlines are
+// pulled to the next tick so they fire on the next advance.
+func (w *wheel[V]) schedule(n *timerNode[V], deadline int64) {
+	w.cancel(n)
+	if deadline <= w.now {
+		deadline = w.now + 1
+	}
+	if deadline-w.now >= wheelSpan {
+		deadline = w.now + wheelSpan - 1
+	}
+	n.deadline = deadline
+	w.insert(n)
+	n.state = timerArmed
+	w.count++
+}
+
+// cancel disarms n: an armed node is unlinked from its bucket, a queued
+// node's pending fire is suppressed.
+func (w *wheel[V]) cancel(n *timerNode[V]) {
+	switch n.state {
+	case timerArmed:
+		w.unlink(n)
+		w.count--
+	case timerQueued:
+		// Still on the expired chain being drained; the drain loop skips
+		// non-queued nodes, so flipping the state is enough.
+	}
+	n.state = timerIdle
+}
+
+// insert buckets n by its deadline. delta ≥ 0 relative to w.now; delta 0
+// (only reachable while cascading) lands in the level-0 bucket the current
+// advance step is about to expire.
+func (w *wheel[V]) insert(n *timerNode[V]) {
+	delta := n.deadline - w.now
+	level := 0
+	for level < wheelLevels-1 && delta >= int64(1)<<(wheelBits*(level+1)) {
+		level++
+	}
+	head := &w.slots[level][(n.deadline>>(wheelBits*level))&wheelMask]
+	n.next = *head
+	if n.next != nil {
+		n.next.pprev = &n.next
+	}
+	*head = n
+	n.pprev = head
+}
+
+func (w *wheel[V]) unlink(n *timerNode[V]) {
+	*n.pprev = n.next
+	if n.next != nil {
+		n.next.pprev = n.pprev
+	}
+	n.next = nil
+	n.pprev = nil
+}
+
+// advance moves the wheel to the target tick and returns the chain (via
+// qnext, in expiry order) of nodes whose deadlines passed. Returned nodes
+// are in state timerQueued; the caller fires each one that is still queued
+// when its turn comes.
+func (w *wheel[V]) advance(target int64) *timerNode[V] {
+	var head, tail *timerNode[V]
+	for w.now < target {
+		w.now++
+		// Cascade every level whose period boundary this tick crosses,
+		// highest first so re-buckets settle in one pass.
+		for l := wheelLevels - 1; l >= 1; l-- {
+			if w.now&(int64(1)<<(wheelBits*l)-1) != 0 {
+				continue
+			}
+			slot := &w.slots[l][(w.now>>(wheelBits*l))&wheelMask]
+			n := *slot
+			*slot = nil
+			for n != nil {
+				next := n.next
+				w.insert(n)
+				n = next
+			}
+		}
+		// Expire the level-0 bucket for this tick.
+		slot := &w.slots[0][w.now&wheelMask]
+		for n := *slot; n != nil; {
+			next := n.next
+			n.next = nil
+			n.pprev = nil
+			n.state = timerQueued
+			n.qnext = nil
+			if tail == nil {
+				head, tail = n, n
+			} else {
+				tail.qnext = n
+				tail = n
+			}
+			w.count--
+			n = next
+		}
+		*slot = nil
+	}
+	return head
+}
+
+// nextEventTick returns the next absolute tick at which advance could have
+// work: the first occupied level-0 bucket within the current rotation, or
+// the next level-0 rotation boundary (where upper levels cascade down).
+// Only meaningful when count > 0.
+func (w *wheel[V]) nextEventTick() int64 {
+	for i := int64(1); i <= wheelSlots; i++ {
+		tick := w.now + i
+		if tick&wheelMask == 0 {
+			// Rotation boundary: upper levels may cascade here.
+			return tick
+		}
+		if w.slots[0][tick&wheelMask] != nil {
+			return tick
+		}
+	}
+	return w.now + wheelSlots
+}

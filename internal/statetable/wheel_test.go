@@ -1,0 +1,241 @@
+package statetable
+
+import (
+	"testing"
+)
+
+// newNode builds a standalone timer node the way Upsert does, without a
+// table around it, so the wheel can be driven deterministically.
+func newNode(key string) *timerNode[int] {
+	e := &entry[int]{key: key}
+	for i := range e.timers {
+		e.timers[i].owner = e
+		e.timers[i].kind = TimerKind(i)
+	}
+	return &e.timers[0]
+}
+
+// drain pops the fired chain into a slice of keys.
+func drain(head *timerNode[int]) []string {
+	var out []string
+	for n := head; n != nil; n = n.qnext {
+		if n.state == timerQueued {
+			out = append(out, n.owner.key)
+		}
+	}
+	return out
+}
+
+// TestWheelFiresAtExactTick schedules deltas that land in every level of
+// the hierarchy and verifies each fires at its deadline tick, never early.
+func TestWheelFiresAtExactTick(t *testing.T) {
+	deltas := []int64{1, 2, 100, 255, 256, 257, 300, 511, 512,
+		wheelSlots*wheelSlots - 1, wheelSlots * wheelSlots, wheelSlots*wheelSlots + 70000}
+	for _, delta := range deltas {
+		var w wheel[int]
+		n := newNode("k")
+		w.schedule(n, delta)
+		if w.count != 1 {
+			t.Fatalf("delta %d: count = %d", delta, w.count)
+		}
+		if fired := w.advance(delta - 1); fired != nil {
+			t.Fatalf("delta %d: fired %v early at tick %d", delta, drain(fired), w.now)
+		}
+		fired := w.advance(delta)
+		if got := drain(fired); len(got) != 1 || got[0] != "k" {
+			t.Fatalf("delta %d: fired = %v at deadline", delta, got)
+		}
+		if w.count != 0 {
+			t.Fatalf("delta %d: count = %d after fire", delta, w.count)
+		}
+	}
+}
+
+// TestWheelFiresMidRotation covers deadlines inserted mid-rotation whose
+// level-0 slot index wraps past the rotation boundary.
+func TestWheelFiresMidRotation(t *testing.T) {
+	var w wheel[int]
+	w.advance(0x80) // park the wheel mid-rotation
+	n := newNode("wrap")
+	w.schedule(n, 0x130) // delta 0xB0 < 256, slot 0x30 is behind now&mask
+	if fired := w.advance(0x12F); fired != nil {
+		t.Fatalf("fired early: %v", drain(fired))
+	}
+	if got := drain(w.advance(0x130)); len(got) != 1 {
+		t.Fatalf("fired = %v", got)
+	}
+}
+
+// TestWheelPastDeadlineFiresNextTick: a deadline at or before now is
+// pulled to now+1 rather than lost.
+func TestWheelPastDeadlineFiresNextTick(t *testing.T) {
+	var w wheel[int]
+	w.advance(50)
+	for _, deadline := range []int64{0, 49, 50} {
+		n := newNode("past")
+		w.schedule(n, deadline)
+		if got := drain(w.advance(51)); len(got) != 1 {
+			t.Fatalf("deadline %d: fired = %v", deadline, got)
+		}
+		w.now = 50 // rewind for the next case
+	}
+}
+
+// TestWheelBeyondHorizonClamps: deadlines past the wheel span still fire,
+// at the clamped horizon.
+func TestWheelBeyondHorizonClamps(t *testing.T) {
+	var w wheel[int]
+	n := newNode("far")
+	w.schedule(n, wheelSpan*3)
+	if n.deadline != wheelSpan-1 {
+		t.Fatalf("clamped deadline = %d, want %d", n.deadline, wheelSpan-1)
+	}
+}
+
+// TestWheelCancelArmed: cancelling an armed timer unlinks it and it never
+// fires.
+func TestWheelCancelArmed(t *testing.T) {
+	var w wheel[int]
+	a, b := newNode("a"), newNode("b")
+	w.schedule(a, 10)
+	w.schedule(b, 10) // same bucket, exercises mid-list unlink
+	w.cancel(a)
+	if w.count != 1 {
+		t.Fatalf("count = %d after cancel", w.count)
+	}
+	if got := drain(w.advance(10)); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("fired = %v, want [b]", got)
+	}
+	w.cancel(b) // cancelling an idle node is a no-op
+	if w.count != 0 {
+		t.Fatalf("count = %d", w.count)
+	}
+}
+
+// TestWheelCancelQueued: a node already collected for firing is suppressed
+// by cancel — the stop-vs-fire race resolved in favour of stop.
+func TestWheelCancelQueued(t *testing.T) {
+	var w wheel[int]
+	a, b := newNode("a"), newNode("b")
+	w.schedule(a, 5)
+	w.schedule(b, 5)
+	fired := w.advance(5)
+	// Both queued; cancel one before the drain loop reaches it.
+	w.cancel(a)
+	got := drain(fired)
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("fired = %v, want [b]", got)
+	}
+}
+
+// TestWheelRescheduleQueued: rescheduling a queued node suppresses the
+// stale fire and arms the new deadline.
+func TestWheelRescheduleQueued(t *testing.T) {
+	var w wheel[int]
+	n := newNode("n")
+	w.schedule(n, 5)
+	fired := w.advance(5)
+	w.schedule(n, 20) // reschedule before the drain loop fires it
+	if got := drain(fired); len(got) != 0 {
+		t.Fatalf("stale fire not suppressed: %v", got)
+	}
+	if got := drain(w.advance(20)); len(got) != 1 {
+		t.Fatalf("rescheduled fire = %v", got)
+	}
+}
+
+// TestWheelRescheduleMovesDeadline: rearming an armed timer replaces the
+// old deadline entirely.
+func TestWheelRescheduleMovesDeadline(t *testing.T) {
+	var w wheel[int]
+	n := newNode("n")
+	w.schedule(n, 10)
+	w.schedule(n, 500)
+	if w.count != 1 {
+		t.Fatalf("count = %d after reschedule", w.count)
+	}
+	if fired := w.advance(499); fired != nil {
+		t.Fatalf("old deadline fired: %v", drain(fired))
+	}
+	if got := drain(w.advance(500)); len(got) != 1 {
+		t.Fatalf("fired = %v", got)
+	}
+}
+
+// TestWheelExpiryOrder: deadlines fire in tick order within one advance.
+func TestWheelExpiryOrder(t *testing.T) {
+	var w wheel[int]
+	keys := []string{"c", "a", "b"}
+	ticks := []int64{30, 10, 20}
+	for i, k := range keys {
+		w.schedule(newNode(k), ticks[i])
+	}
+	got := drain(w.advance(100))
+	want := []string{"a", "b", "c"}
+	if len(got) != 3 {
+		t.Fatalf("fired = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestWheelMassExpiryOneTick: 100k timers on the same tick all fire in a
+// single advance.
+func TestWheelMassExpiryOneTick(t *testing.T) {
+	var w wheel[int]
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		w.schedule(newNode("k"), 7)
+	}
+	if w.count != n {
+		t.Fatalf("count = %d", w.count)
+	}
+	if got := drain(w.advance(7)); len(got) != n {
+		t.Fatalf("fired %d of %d", len(got), n)
+	}
+	if w.count != 0 {
+		t.Fatalf("count = %d after mass expiry", w.count)
+	}
+}
+
+// TestWheelCascadePreservesManyTimers: timers spread over several levels
+// all fire exactly once at the right tick as cascades rehash them.
+func TestWheelCascadePreservesManyTimers(t *testing.T) {
+	var w wheel[int]
+	type arm struct {
+		node     *timerNode[int]
+		deadline int64
+	}
+	var arms []arm
+	for d := int64(1); d < 200_000; d = d*3 + 7 {
+		n := newNode("k")
+		w.schedule(n, d)
+		arms = append(arms, arm{n, d})
+	}
+	firedAt := make(map[*timerNode[int]]int64)
+	for now := int64(1); now <= 200_000; now += 97 {
+		for n := w.advance(now); n != nil; n = n.qnext {
+			if n.state != timerQueued {
+				continue
+			}
+			if _, dup := firedAt[n]; dup {
+				t.Fatal("timer fired twice")
+			}
+			firedAt[n] = w.now
+		}
+	}
+	for _, a := range arms {
+		at, ok := firedAt[a.node]
+		if !ok {
+			t.Fatalf("deadline %d never fired", a.deadline)
+		}
+		// advance is batched 97 ticks at a time, so the observed w.now is
+		// the batch target; the node must not have outlived its batch.
+		if at < a.deadline || at >= a.deadline+97 {
+			t.Fatalf("deadline %d fired in batch ending %d", a.deadline, at)
+		}
+	}
+}

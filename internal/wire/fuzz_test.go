@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode hardens the codec against hostile datagrams (ProFuzzBench-style
+// stateful-protocol input fuzzing): any byte string must either decode into
+// a message that re-encodes to the identical bytes, or be rejected with an
+// error — never panic, never over-allocate from attacker-controlled length
+// fields.
+func FuzzDecode(f *testing.F) {
+	// Valid frames of every type, including the summary encoding.
+	seed := []Message{
+		{Type: TypeTrigger, Seq: 1, Key: "flow/1", Value: []byte("10Mbps")},
+		{Type: TypeRefresh, Seq: 2, Key: "k"},
+		{Type: TypeAck, Seq: 3, Key: "k"},
+		{Type: TypeRemoval, Seq: 4, Key: "k"},
+		{Type: TypeRemovalAck, Seq: 5, Key: "k"},
+		{Type: TypeNotify, Seq: 6, Key: "k"},
+		{Type: TypeSummaryRefresh, Seq: 7, Keys: []string{"a", "bb", "ccc"}},
+		{Type: TypeSummaryNack, Seq: 8, Keys: []string{"missing/1"}},
+	}
+	for i := range seed {
+		data, err := seed[i].MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Truncated headers at every short length.
+	valid, _ := (&Message{Type: TypeTrigger, Seq: 9, Key: "key", Value: []byte("v")}).MarshalBinary()
+	for n := 0; n < len(valid); n += 3 {
+		f.Add(valid[:n])
+	}
+	// Bad CRC.
+	badCRC := append([]byte{}, valid...)
+	badCRC[len(badCRC)-1] ^= 0xFF
+	f.Add(badCRC)
+	// Oversized key length field with a resealed checksum.
+	overKey := append([]byte{}, valid...)
+	binary.BigEndian.PutUint16(overKey[10:], MaxKeyLen+1)
+	f.Add(resealFrame(overKey))
+	// Oversized value length field.
+	overVal := append([]byte{}, valid...)
+	binary.BigEndian.PutUint32(overVal[12+3:], MaxValueLen+1)
+	f.Add(resealFrame(overVal))
+	// Huge value length with a tiny frame: must not allocate MaxValueLen.
+	tiny := []byte{Version, byte(TypeTrigger), 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}
+	f.Add(resealFrame(append(tiny, 0, 0, 0, 0)))
+	// Summary frames with corrupted counts and lengths.
+	summary, _ := (&Message{Type: TypeSummaryRefresh, Seq: 10, Keys: []string{"aa", "bb"}}).MarshalBinary()
+	overCount := append([]byte{}, summary...)
+	binary.BigEndian.PutUint16(overCount[16:], MaxSummaryKeys+1)
+	f.Add(resealFrame(overCount))
+	shortList := append([]byte{}, summary...)
+	binary.BigEndian.PutUint16(shortList[16:], 7)
+	f.Add(resealFrame(shortList))
+	longKey := append([]byte{}, summary...)
+	binary.BigEndian.PutUint16(longKey[18:], MaxKeyLen+1)
+	f.Add(resealFrame(longKey))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Decoded fields must satisfy the documented invariants.
+		if !m.Type.Valid() {
+			t.Fatalf("decoded invalid type %d", m.Type)
+		}
+		if len(m.Key) > MaxKeyLen || len(m.Value) > MaxValueLen {
+			t.Fatalf("decoded oversize key/value: %d/%d", len(m.Key), len(m.Value))
+		}
+		if m.Type.Summary() {
+			if m.Key != "" || m.Value != nil {
+				t.Fatalf("summary decoded with key/value: %+v", m)
+			}
+			if len(m.Keys) > MaxSummaryKeys {
+				t.Fatalf("decoded %d summary keys", len(m.Keys))
+			}
+			for _, k := range m.Keys {
+				if len(k) > MaxKeyLen {
+					t.Fatalf("decoded oversize summary key: %d bytes", len(k))
+				}
+			}
+		} else if m.Keys != nil {
+			t.Fatalf("non-summary decoded with key list: %+v", m)
+		}
+		// Round trip: an accepted frame re-encodes to the same bytes.
+		out, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data, out)
+		}
+	})
+}
+
+// resealFrame recomputes the CRC trailer of a hand-edited frame.
+func resealFrame(data []byte) []byte {
+	if len(data) < 4 {
+		return data
+	}
+	return reseal(data)
+}
+
+// FuzzDecodeKeys drives the summary list parser with structured inputs.
+func FuzzDecodeKeys(f *testing.F) {
+	f.Add(uint64(1), "a\x00bb\x00ccc")
+	f.Add(uint64(2), "")
+	f.Add(uint64(3), strings.Repeat("k\x00", 200))
+	f.Fuzz(func(t *testing.T, seq uint64, packed string) {
+		keys := strings.Split(packed, "\x00")
+		for i := range keys {
+			if len(keys[i]) > MaxKeyLen {
+				keys[i] = keys[i][:MaxKeyLen]
+			}
+		}
+		if n := SummaryFits(keys); n < len(keys) {
+			keys = keys[:n]
+		}
+		in := Message{Type: TypeSummaryNack, Seq: seq, Keys: keys}
+		data, err := in.MarshalBinary()
+		if err != nil {
+			t.Fatalf("SummaryFits-bounded list does not encode: %v", err)
+		}
+		var out Message
+		if err := out.UnmarshalBinary(data); err != nil {
+			t.Fatalf("roundtrip decode failed: %v", err)
+		}
+		if len(out.Keys) != len(keys) {
+			t.Fatalf("keys = %d, want %d", len(out.Keys), len(keys))
+		}
+		for i := range keys {
+			if out.Keys[i] != keys[i] {
+				t.Fatalf("key %d = %q, want %q", i, out.Keys[i], keys[i])
+			}
+		}
+	})
+}

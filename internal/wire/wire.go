@@ -1,6 +1,6 @@
 // Package wire defines the on-the-wire encoding for the signaling runtime
 // (internal/signal): a compact, versioned, checksummed binary format for
-// the six message types the generic protocols exchange. The format is
+// the message types the generic protocols exchange. The format is
 // deliberately simple — fixed header, length-prefixed key and value, CRC32
 // trailer — so a datagram is self-contained and corruption is detected
 // before it can touch protocol state.
@@ -16,6 +16,14 @@
 //	12+K    4     value length V (≤ MaxValueLen)
 //	16+K    V     value bytes
 //	16+K+V  4     CRC32 (IEEE) of bytes [0, 16+K+V)
+//
+// The two summary types (TypeSummaryRefresh, TypeSummaryNack) carry a key
+// *list* instead of a single key/value pair — RFC 2961-style refresh
+// reduction, where one datagram renews (or NACKs) many keys at once. For
+// them K is always 0 and the value region holds the list:
+//
+//	2     key count N (≤ MaxSummaryKeys)
+//	N ×   { 2: key length, key bytes }
 package wire
 
 import (
@@ -34,6 +42,9 @@ const (
 	MaxKeyLen = 512
 	// MaxValueLen bounds the state value payload.
 	MaxValueLen = 8192
+	// MaxSummaryKeys bounds the key list of a summary message. The list
+	// must also fit the MaxValueLen byte budget.
+	MaxSummaryKeys = 1024
 )
 
 // Type enumerates signaling message types.
@@ -54,8 +65,18 @@ const (
 	// TypeNotify informs the sender that its state was removed at the
 	// receiver (timeout or external signal).
 	TypeNotify
+	// TypeSummaryRefresh renews many keys in one datagram (RFC 2961-style
+	// refresh reduction). It carries a key list, no value.
+	TypeSummaryRefresh
+	// TypeSummaryNack lists keys from a summary refresh that the receiver
+	// does not hold, telling the sender to fall back to full triggers.
+	TypeSummaryNack
 	maxType
 )
+
+// NumTypes is the number of defined message types plus one, so a valid
+// Type can index a [NumTypes] counter array directly.
+const NumTypes = int(maxType)
 
 // String implements fmt.Stringer.
 func (t Type) String() string {
@@ -72,6 +93,10 @@ func (t Type) String() string {
 		return "removal-ack"
 	case TypeNotify:
 		return "notify"
+	case TypeSummaryRefresh:
+		return "summary-refresh"
+	case TypeSummaryNack:
+		return "summary-nack"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -80,6 +105,9 @@ func (t Type) String() string {
 // Valid reports whether t is a known message type.
 func (t Type) Valid() bool { return t >= TypeTrigger && t < maxType }
 
+// Summary reports whether t carries a key list instead of a key/value pair.
+func (t Type) Summary() bool { return t == TypeSummaryRefresh || t == TypeSummaryNack }
+
 // Decoding and encoding errors.
 var (
 	ErrShort    = errors.New("wire: message truncated")
@@ -87,6 +115,7 @@ var (
 	ErrType     = errors.New("wire: unknown message type")
 	ErrChecksum = errors.New("wire: checksum mismatch")
 	ErrTooLarge = errors.New("wire: key or value exceeds size limit")
+	ErrSummary  = errors.New("wire: malformed summary message")
 )
 
 // Message is one signaling datagram.
@@ -95,10 +124,13 @@ type Message struct {
 	Type Type
 	// Seq orders triggers/removals and matches ACKs to them.
 	Seq uint64
-	// Key names the piece of signaling state.
+	// Key names the piece of signaling state. Empty for summary types.
 	Key string
-	// Value is the state payload (nil for ACKs, removals, notifies).
+	// Value is the state payload (nil for ACKs, removals, notifies and
+	// summary types).
 	Value []byte
+	// Keys is the key list of a summary message; nil for all other types.
+	Keys []string
 }
 
 const headerLen = 1 + 1 + 8 + 2 // version, type, seq, key length
@@ -106,7 +138,34 @@ const trailerLen = 4            // CRC32
 
 // EncodedLen returns the encoded size of m.
 func (m *Message) EncodedLen() int {
+	if m.Type.Summary() {
+		return headerLen + 4 + summaryBlockLen(m.Keys) + trailerLen
+	}
 	return headerLen + len(m.Key) + 4 + len(m.Value) + trailerLen
+}
+
+// summaryBlockLen is the encoded size of a summary key list.
+func summaryBlockLen(keys []string) int {
+	n := 2
+	for _, k := range keys {
+		n += 2 + len(k)
+	}
+	return n
+}
+
+// SummaryFits reports how many of keys fit one summary datagram: the
+// largest prefix within both MaxSummaryKeys and the MaxValueLen byte
+// budget. Senders use it to chunk large key sets.
+func SummaryFits(keys []string) int {
+	n, bytes := 0, 2
+	for _, k := range keys {
+		if n >= MaxSummaryKeys || bytes+2+len(k) > MaxValueLen {
+			break
+		}
+		bytes += 2 + len(k)
+		n++
+	}
+	return n
 }
 
 // MarshalBinary encodes m.
@@ -119,6 +178,9 @@ func (m *Message) Append(dst []byte) ([]byte, error) {
 	if !m.Type.Valid() {
 		return nil, fmt.Errorf("%w: %d", ErrType, m.Type)
 	}
+	if m.Type.Summary() {
+		return m.appendSummary(dst)
+	}
 	if len(m.Key) > MaxKeyLen || len(m.Value) > MaxValueLen {
 		return nil, fmt.Errorf("%w: key %d bytes, value %d bytes", ErrTooLarge, len(m.Key), len(m.Value))
 	}
@@ -129,6 +191,39 @@ func (m *Message) Append(dst []byte) ([]byte, error) {
 	dst = append(dst, m.Key...)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Value)))
 	dst = append(dst, m.Value...)
+	sum := crc32.ChecksumIEEE(dst[start:])
+	dst = binary.BigEndian.AppendUint32(dst, sum)
+	return dst, nil
+}
+
+// appendSummary encodes a summary message: zero key length, and the key
+// list in the value region.
+func (m *Message) appendSummary(dst []byte) ([]byte, error) {
+	if m.Key != "" || m.Value != nil {
+		return nil, fmt.Errorf("%w: %s carries a key list, not key/value", ErrSummary, m.Type)
+	}
+	if len(m.Keys) > MaxSummaryKeys {
+		return nil, fmt.Errorf("%w: %d keys", ErrTooLarge, len(m.Keys))
+	}
+	block := summaryBlockLen(m.Keys)
+	if block > MaxValueLen {
+		return nil, fmt.Errorf("%w: summary block %d bytes", ErrTooLarge, block)
+	}
+	for _, k := range m.Keys {
+		if len(k) > MaxKeyLen {
+			return nil, fmt.Errorf("%w: summary key %d bytes", ErrTooLarge, len(k))
+		}
+	}
+	start := len(dst)
+	dst = append(dst, Version, byte(m.Type))
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, 0) // no single key
+	dst = binary.BigEndian.AppendUint32(dst, uint32(block))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Keys)))
+	for _, k := range m.Keys {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(k)))
+		dst = append(dst, k...)
+	}
 	sum := crc32.ChecksumIEEE(dst[start:])
 	dst = binary.BigEndian.AppendUint32(dst, sum)
 	return dst, nil
@@ -156,6 +251,9 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	if keyLen > MaxKeyLen {
 		return ErrTooLarge
 	}
+	if typ.Summary() && keyLen != 0 {
+		return fmt.Errorf("%w: nonzero key length", ErrSummary)
+	}
 	rest := body[12:]
 	if len(rest) < keyLen+4 {
 		return ErrShort
@@ -170,6 +268,18 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	if len(rest) != valLen {
 		return ErrShort
 	}
+	if typ.Summary() {
+		keys, err := decodeSummaryBlock(rest)
+		if err != nil {
+			return err
+		}
+		m.Type = typ
+		m.Seq = seq
+		m.Key = ""
+		m.Value = nil
+		m.Keys = keys
+		return nil
+	}
 	var value []byte
 	if valLen > 0 {
 		value = make([]byte, valLen)
@@ -179,10 +289,47 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	m.Seq = seq
 	m.Key = key
 	m.Value = value
+	m.Keys = nil
 	return nil
+}
+
+// decodeSummaryBlock parses the key list of a summary message. Keys are
+// copied, so the result does not alias block.
+func decodeSummaryBlock(block []byte) ([]string, error) {
+	if len(block) < 2 {
+		return nil, ErrShort
+	}
+	n := int(binary.BigEndian.Uint16(block))
+	if n > MaxSummaryKeys {
+		return nil, fmt.Errorf("%w: %d summary keys", ErrTooLarge, n)
+	}
+	block = block[2:]
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if len(block) < 2 {
+			return nil, ErrShort
+		}
+		kl := int(binary.BigEndian.Uint16(block))
+		if kl > MaxKeyLen {
+			return nil, fmt.Errorf("%w: summary key %d bytes", ErrTooLarge, kl)
+		}
+		block = block[2:]
+		if len(block) < kl {
+			return nil, ErrShort
+		}
+		keys = append(keys, string(block[:kl]))
+		block = block[kl:]
+	}
+	if len(block) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrSummary, len(block))
+	}
+	return keys, nil
 }
 
 // String renders the message for logging.
 func (m *Message) String() string {
+	if m.Type.Summary() {
+		return fmt.Sprintf("%s seq=%d keys=%d", m.Type, m.Seq, len(m.Keys))
+	}
 	return fmt.Sprintf("%s seq=%d key=%q (%d bytes)", m.Type, m.Seq, m.Key, len(m.Value))
 }

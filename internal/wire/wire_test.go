@@ -45,6 +45,10 @@ func TestRoundTripEmptyValue(t *testing.T) {
 func TestRoundTripProperty(t *testing.T) {
 	prop := func(typRaw uint8, seq uint64, key string, value []byte) bool {
 		typ := Type(typRaw%uint8(maxType-1)) + TypeTrigger
+		if typ.Summary() {
+			// Summary types carry a key list; covered by their own tests.
+			typ = TypeTrigger
+		}
 		if len(key) > MaxKeyLen {
 			key = key[:MaxKeyLen]
 		}
@@ -193,4 +197,165 @@ func TestMessageString(t *testing.T) {
 // checksumOf recomputes the trailer checksum for hand-built frames.
 func checksumOf(body []byte) uint32 {
 	return crc32.ChecksumIEEE(body)
+}
+
+// reseal replaces the trailer of a hand-edited frame with a valid CRC so
+// the targeted validation path, not the checksum, is what trips.
+func reseal(data []byte) []byte {
+	body := append([]byte{}, data[:len(data)-4]...)
+	sum := checksumOf(body)
+	return append(body, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	for _, typ := range []Type{TypeSummaryRefresh, TypeSummaryNack} {
+		in := Message{Type: typ, Seq: 77, Keys: []string{"flow/1", "", "flow/2", "a/very/long/key"}}
+		data, err := in.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) != in.EncodedLen() {
+			t.Fatalf("encoded %d bytes, EncodedLen says %d", len(data), in.EncodedLen())
+		}
+		var out Message
+		if err := out.UnmarshalBinary(data); err != nil {
+			t.Fatal(err)
+		}
+		if out.Type != typ || out.Seq != 77 || out.Key != "" || out.Value != nil {
+			t.Fatalf("roundtrip header mismatch: %+v", out)
+		}
+		if len(out.Keys) != len(in.Keys) {
+			t.Fatalf("keys = %v, want %v", out.Keys, in.Keys)
+		}
+		for i := range in.Keys {
+			if out.Keys[i] != in.Keys[i] {
+				t.Fatalf("keys = %v, want %v", out.Keys, in.Keys)
+			}
+		}
+	}
+}
+
+func TestSummaryEmptyList(t *testing.T) {
+	in := Message{Type: TypeSummaryRefresh, Seq: 1}
+	data, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Message
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Keys) != 0 {
+		t.Fatalf("keys = %v, want none", out.Keys)
+	}
+}
+
+func TestSummaryRejectsKeyValue(t *testing.T) {
+	m := Message{Type: TypeSummaryRefresh, Key: "k"}
+	if _, err := m.MarshalBinary(); !errors.Is(err, ErrSummary) {
+		t.Fatalf("summary with key err = %v", err)
+	}
+	m = Message{Type: TypeSummaryNack, Value: []byte("v")}
+	if _, err := m.MarshalBinary(); !errors.Is(err, ErrSummary) {
+		t.Fatalf("summary with value err = %v", err)
+	}
+}
+
+func TestSummaryRejectsOversize(t *testing.T) {
+	m := Message{Type: TypeSummaryRefresh, Keys: make([]string, MaxSummaryKeys+1)}
+	if _, err := m.MarshalBinary(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("too many keys err = %v", err)
+	}
+	m = Message{Type: TypeSummaryRefresh, Keys: []string{strings.Repeat("k", MaxKeyLen+1)}}
+	if _, err := m.MarshalBinary(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize summary key err = %v", err)
+	}
+	// 40 keys of 400 bytes each exceed the MaxValueLen byte budget even
+	// though each key and the count are individually legal.
+	big := make([]string, 40)
+	for i := range big {
+		big[i] = strings.Repeat("x", 400)
+	}
+	m = Message{Type: TypeSummaryRefresh, Keys: big}
+	if _, err := m.MarshalBinary(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize summary block err = %v", err)
+	}
+}
+
+func TestSummaryRejectsMalformedBlocks(t *testing.T) {
+	good, err := (&Message{Type: TypeSummaryRefresh, Seq: 1, Keys: []string{"aa", "bb"}}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nonzero single-key length on a summary type.
+	bad := append([]byte{}, good...)
+	bad[10], bad[11] = 0, 1
+	if err := new(Message).UnmarshalBinary(reseal(bad)); !errors.Is(err, ErrSummary) {
+		t.Fatalf("nonzero key length err = %v", err)
+	}
+	// Count claims more keys than the block holds.
+	bad = append([]byte{}, good...)
+	bad[16], bad[17] = 0, 9
+	if err := new(Message).UnmarshalBinary(reseal(bad)); !errors.Is(err, ErrShort) {
+		t.Fatalf("short key list err = %v", err)
+	}
+	// Count claims fewer keys, leaving trailing bytes.
+	bad = append([]byte{}, good...)
+	bad[16], bad[17] = 0, 1
+	if err := new(Message).UnmarshalBinary(reseal(bad)); !errors.Is(err, ErrSummary) {
+		t.Fatalf("trailing bytes err = %v", err)
+	}
+}
+
+func TestSummaryDecodeDoesNotAliasInput(t *testing.T) {
+	m := Message{Type: TypeSummaryNack, Keys: []string{"abc"}}
+	data, _ := m.MarshalBinary()
+	var out Message
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		data[i] = 0
+	}
+	if out.Keys[0] != "abc" {
+		t.Fatal("decoded summary aliases input buffer")
+	}
+}
+
+func TestSummaryFits(t *testing.T) {
+	if n := SummaryFits(nil); n != 0 {
+		t.Fatalf("SummaryFits(nil) = %d", n)
+	}
+	keys := make([]string, 100)
+	for i := range keys {
+		keys[i] = strings.Repeat("k", 8)
+	}
+	if n := SummaryFits(keys); n != 100 {
+		t.Fatalf("SummaryFits(small) = %d, want 100", n)
+	}
+	// MaxSummaryKeys caps the count.
+	many := make([]string, MaxSummaryKeys+50)
+	for i := range many {
+		many[i] = "k"
+	}
+	if n := SummaryFits(many); n != MaxSummaryKeys {
+		t.Fatalf("SummaryFits(many) = %d, want %d", n, MaxSummaryKeys)
+	}
+	// The byte budget caps before the count does for long keys.
+	long := make([]string, 100)
+	for i := range long {
+		long[i] = strings.Repeat("x", 400)
+	}
+	n := SummaryFits(long)
+	if n >= 100 || n == 0 {
+		t.Fatalf("SummaryFits(long) = %d, want a partial prefix", n)
+	}
+	m := Message{Type: TypeSummaryRefresh, Keys: long[:n]}
+	if _, err := m.MarshalBinary(); err != nil {
+		t.Fatalf("SummaryFits prefix does not encode: %v", err)
+	}
+	m = Message{Type: TypeSummaryRefresh, Keys: long[:n+1]}
+	if _, err := m.MarshalBinary(); err == nil {
+		t.Fatal("SummaryFits prefix is not maximal")
+	}
 }

@@ -13,7 +13,9 @@
 //   - by event-level simulation of the actual protocol state machines
 //     over a lossy, delaying, FIFO channel (Simulate, SimulateMultihop);
 //   - and as a runnable real-time signaling runtime over net.PacketConn
-//     (internal/signal), for use as an actual protocol library.
+//     (internal/signal), for use as an actual protocol library, backed by
+//     a sharded state table with hierarchical timing wheels
+//     (internal/statetable) that scales to millions of concurrent keys.
 //
 // The metrics follow the paper: the inconsistency ratio I (fraction of
 // time sender and receiver state disagree), the normalized signaling
@@ -33,7 +35,7 @@
 //
 // Every table and figure of the paper's evaluation can be regenerated
 // with cmd/sigbench or the benchmarks in bench_test.go; see DESIGN.md for
-// the experiment index and EXPERIMENTS.md for measured-vs-paper results.
+// the package map, the statetable architecture, and measured numbers.
 package softstate
 
 import "softstate/internal/core"
