@@ -80,9 +80,9 @@ type pipeConn struct {
 	mu     sync.Mutex
 	rng    *rand.Source
 	peer   *pipeConn
-	queue  chan packet
+	queue  chan packet // never closed; done signals shutdown instead
+	done   chan struct{}
 	closed bool
-	wg     sync.WaitGroup
 
 	readDeadline time.Time
 }
@@ -95,6 +95,7 @@ func newPipeConn(name string, cfg Config, rng *rand.Source) *pipeConn {
 		cfg:   cfg,
 		rng:   rng,
 		queue: make(chan packet, pipeQueueDepth),
+		done:  make(chan struct{}),
 	}
 }
 
@@ -120,11 +121,7 @@ func (c *pipeConn) WriteTo(p []byte, _ net.Addr) (int, error) {
 		deliver()
 		return len(p), nil
 	}
-	c.wg.Add(1)
-	time.AfterFunc(delay, func() {
-		defer c.wg.Done()
-		deliver()
-	})
+	time.AfterFunc(delay, deliver)
 	return len(p), nil
 }
 
@@ -171,19 +168,19 @@ func (c *pipeConn) ReadFrom(p []byte) (int, net.Addr, error) {
 		timeout = t.C
 	}
 	select {
-	case pkt, ok := <-c.queue:
-		if !ok {
-			return 0, nil, net.ErrClosed
-		}
+	case pkt := <-c.queue:
 		n := copy(p, pkt.data)
 		return n, pkt.from, nil
+	case <-c.done:
+		return 0, nil, net.ErrClosed
 	case <-timeout:
 		return 0, nil, timeoutError{}
 	}
 }
 
-// Close shuts the endpoint; pending delayed deliveries to the peer are
-// drained before the queue closes.
+// Close shuts the endpoint: pending reads unblock with net.ErrClosed and
+// later deliveries are dropped by enqueue. The queue channel is never
+// closed, so a peer's in-flight WriteTo can race Close safely.
 func (c *pipeConn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -192,10 +189,7 @@ func (c *pipeConn) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	go func() {
-		c.wg.Wait()
-		close(c.queue)
-	}()
+	close(c.done)
 	return nil
 }
 

@@ -1,0 +1,68 @@
+package signal
+
+import (
+	"net"
+	"sync"
+)
+
+// transport fences writes to a PacketConn against its closure. Writers
+// hold the read lock across WriteTo and close takes the write lock, so a
+// write never races or follows conn.Close — both endpoints share this one
+// implementation so the fence cannot drift between them.
+type transport struct {
+	conn   net.PacketConn
+	mu     sync.RWMutex // write-held only to close conn
+	closed bool
+}
+
+// write transmits data to to, reporting whether a live transport accepted
+// it (temporary timeouts count as sent, like a lossy link). Safe under
+// shard locks: the transport, not the state table, serializes writes.
+func (tp *transport) write(data []byte, to net.Addr) bool {
+	tp.mu.RLock()
+	defer tp.mu.RUnlock()
+	if tp.closed {
+		return false
+	}
+	_, err := tp.conn.WriteTo(data, to)
+	return err == nil || isNetTemporary(err)
+}
+
+// close fences the transport shut and closes the conn, unblocking any
+// reader pending in ReadFrom.
+func (tp *transport) close() error {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	tp.closed = true
+	return tp.conn.Close()
+}
+
+// eventSink is the non-blocking observability stream, fenced so emitters
+// never race the channel closing.
+type eventSink struct {
+	ch     chan Event
+	mu     sync.RWMutex // write-held only to close ch
+	closed bool
+}
+
+// emit delivers ev without ever blocking the protocol, dropping it if the
+// buffer is full or the sink already closed.
+func (es *eventSink) emit(ev Event) {
+	es.mu.RLock()
+	if !es.closed {
+		select {
+		case es.ch <- ev:
+		default:
+		}
+	}
+	es.mu.RUnlock()
+}
+
+// close closes the stream; callers must have stopped all emitters that
+// are not fenced by emit's read lock.
+func (es *eventSink) close() {
+	es.mu.Lock()
+	es.closed = true
+	close(es.ch)
+	es.mu.Unlock()
+}

@@ -17,17 +17,15 @@ import (
 // deadline, so one Receiver holds millions of keys with a fixed number of
 // goroutines. All methods are safe for concurrent use.
 type Receiver struct {
-	conn net.PacketConn
-	cfg  Config
+	tp  transport
+	cfg Config
 
 	tbl    *statetable.Table[receiverEntry]
 	ctrs   counters
 	closed atomic.Bool
 
-	events     chan Event
-	eventsMu   sync.RWMutex // write-held only to close events
-	eventsDone bool
-	wg         sync.WaitGroup
+	events eventSink
+	wg     sync.WaitGroup
 }
 
 // receiverEntry is one installed piece of state.
@@ -45,9 +43,9 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 	}
 	cfg = cfg.withDefaults()
 	r := &Receiver{
-		conn:   conn,
+		tp:     transport{conn: conn},
 		cfg:    cfg,
-		events: make(chan Event, cfg.EventBuffer),
+		events: eventSink{ch: make(chan Event, cfg.EventBuffer)},
 	}
 	r.tbl = statetable.New(statetable.Config[receiverEntry]{
 		Shards:   cfg.Shards,
@@ -59,7 +57,7 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 }
 
 // Events exposes the observability stream; closed on Close.
-func (r *Receiver) Events() <-chan Event { return r.events }
+func (r *Receiver) Events() <-chan Event { return r.events.ch }
 
 // Stats returns a snapshot of message counters.
 func (r *Receiver) Stats() Stats { return r.ctrs.snapshot() }
@@ -105,12 +103,9 @@ func (r *Receiver) Close() error {
 		return nil
 	}
 	r.tbl.Close() // no timeout callback runs past this point
-	err := r.conn.Close()
+	err := r.tp.close()
 	r.wg.Wait()
-	r.eventsMu.Lock()
-	r.eventsDone = true
-	close(r.events)
-	r.eventsMu.Unlock()
+	r.events.close()
 	return err
 }
 
@@ -118,7 +113,7 @@ func (r *Receiver) readLoop() {
 	defer r.wg.Done()
 	buf := make([]byte, 64*1024)
 	for {
-		n, from, err := r.conn.ReadFrom(buf)
+		n, from, err := r.tp.conn.ReadFrom(buf)
 		if err != nil {
 			return
 		}
@@ -179,11 +174,18 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 func (r *Receiver) handleSummary(m wire.Message, from net.Addr) {
 	var unknown []string
 	for _, key := range m.Keys {
-		renewed := r.tbl.Update(key, func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+		known := r.tbl.Update(key, func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+			// Same staleness guard as per-key refreshes: a delayed or
+			// replayed summary (its Seq is the sender-global counter at
+			// sweep time) must not rebind the peer address or renew state
+			// that a newer per-key message has since superseded.
+			if m.Seq < e.lastSeq {
+				return
+			}
 			e.peer = from // track sender rebinds, like per-key refreshes do
 			r.armTimeout(tc)
 		})
-		if !renewed {
+		if !known {
 			unknown = append(unknown, key)
 		}
 	}
@@ -227,6 +229,7 @@ func (r *Receiver) drop(key string, e *receiverEntry, tc statetable.TimerControl
 	r.emit(Event{Kind: kind, Key: key, Value: value})
 }
 
+// send encodes and transmits m to to.
 func (r *Receiver) send(m wire.Message, to net.Addr) {
 	if to == nil {
 		return
@@ -235,23 +238,12 @@ func (r *Receiver) send(m wire.Message, to net.Addr) {
 	if err != nil {
 		return
 	}
-	if _, err := r.conn.WriteTo(data, to); err == nil {
+	if r.tp.write(data, to) {
 		r.ctrs.sent[m.Type].Add(1)
 	}
 }
 
-// emit delivers an event without ever blocking the protocol. The read
-// lock fences emission against Close closing the channel mid-send.
-func (r *Receiver) emit(ev Event) {
-	r.eventsMu.RLock()
-	if !r.eventsDone {
-		select {
-		case r.events <- ev:
-		default:
-		}
-	}
-	r.eventsMu.RUnlock()
-}
+func (r *Receiver) emit(ev Event) { r.events.emit(ev) }
 
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {

@@ -29,7 +29,7 @@ const (
 // Sender scales to millions of keys. All methods are safe for concurrent
 // use.
 type Sender struct {
-	conn net.PacketConn
+	tp   transport
 	peer net.Addr
 	cfg  Config
 
@@ -39,11 +39,9 @@ type Sender struct {
 	ctrs   counters
 	closed atomic.Bool
 
-	events     chan Event
-	eventsMu   sync.RWMutex // write-held only to close events
-	eventsDone bool
-	done       chan struct{}
-	wg         sync.WaitGroup
+	events eventSink
+	done   chan struct{}
+	wg     sync.WaitGroup
 }
 
 // senderEntry tracks one key's signaling state at the sender.
@@ -65,10 +63,10 @@ func NewSender(conn net.PacketConn, peer net.Addr, cfg Config) (*Sender, error) 
 	}
 	cfg = cfg.withDefaults()
 	s := &Sender{
-		conn:   conn,
+		tp:     transport{conn: conn},
 		peer:   peer,
 		cfg:    cfg,
-		events: make(chan Event, cfg.EventBuffer),
+		events: eventSink{ch: make(chan Event, cfg.EventBuffer)},
 		done:   make(chan struct{}),
 	}
 	s.tbl = statetable.New(statetable.Config[senderEntry]{
@@ -91,7 +89,7 @@ func (s *Sender) summaryMode() bool {
 
 // Events exposes the observability stream. The channel closes when the
 // sender is closed.
-func (s *Sender) Events() <-chan Event { return s.events }
+func (s *Sender) Events() <-chan Event { return s.events.ch }
 
 // Stats returns a snapshot of message counters.
 func (s *Sender) Stats() Stats { return s.ctrs.snapshot() }
@@ -127,8 +125,12 @@ func (s *Sender) put(key string, value []byte, kind EventKind) error {
 	s.tbl.Upsert(key, func(e *senderEntry, created bool, tc statetable.TimerControl[senderEntry]) {
 		// Re-check under the shard lock: Close may have completed since
 		// the fast-path check above, and a success return here would claim
-		// an install that no timer will ever maintain.
+		// an install that no timer will ever maintain. A just-created entry
+		// is deleted again so the table and the live counter stay in step.
 		if s.closed.Load() {
+			if created {
+				tc.Delete()
+			}
 			err = ErrClosed
 			return
 		}
@@ -211,12 +213,9 @@ func (s *Sender) Close() error {
 	}
 	close(s.done)
 	s.tbl.Close() // no expiry callback runs past this point
-	err := s.conn.Close()
+	err := s.tp.close()
 	s.wg.Wait()
-	s.eventsMu.Lock()
-	s.eventsDone = true
-	close(s.events)
-	s.eventsMu.Unlock()
+	s.events.close()
 	return err
 }
 
@@ -368,7 +367,7 @@ func (s *Sender) readLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, 64*1024)
 	for {
-		n, _, err := s.conn.ReadFrom(buf)
+		n, _, err := s.tp.conn.ReadFrom(buf)
 		if err != nil {
 			return
 		}
@@ -438,30 +437,18 @@ func (s *Sender) retrigger(key string) {
 	})
 }
 
-// send encodes and transmits m. Safe under shard locks: the transport,
-// not the table, serializes writes.
+// send encodes and transmits m to the peer.
 func (s *Sender) send(m wire.Message) {
 	data, err := m.Append(nil)
 	if err != nil {
 		return
 	}
-	if _, err := s.conn.WriteTo(data, s.peer); err == nil || isNetTemporary(err) {
+	if s.tp.write(data, s.peer) {
 		s.ctrs.sent[m.Type].Add(1)
 	}
 }
 
-// emit delivers an event without ever blocking the protocol. The read
-// lock fences emission against Close closing the channel mid-send.
-func (s *Sender) emit(ev Event) {
-	s.eventsMu.RLock()
-	if !s.eventsDone {
-		select {
-		case s.events <- ev:
-		default:
-		}
-	}
-	s.eventsMu.RUnlock()
-}
+func (s *Sender) emit(ev Event) { s.events.emit(ev) }
 
 func isNetTemporary(err error) bool {
 	var ne net.Error

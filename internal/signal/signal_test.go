@@ -2,7 +2,9 @@ package signal
 
 import (
 	"bytes"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -303,6 +305,85 @@ func TestClosedEndpointRejects(t *testing.T) {
 	}
 	if err := snd.Close(); err != nil {
 		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestCloseRacesActiveSends: closing a sender while summary sweeps and
+// installs are mid-write must not race the transport shutdown, and a put
+// that loses the race to Close must leave no residue in the table.
+func TestCloseRacesActiveSends(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		a, b, err := lossy.Pipe(lossy.Config{Delay: time.Millisecond, Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig(SS)
+		cfg.RefreshInterval = time.Millisecond // sweep as often as possible
+		cfg.SummaryRefresh = true
+		cfg.SummaryMaxKeys = 8
+		snd, err := NewSender(a, b.LocalAddr(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := 0; k < 50; k++ {
+					if err := snd.Install(fmt.Sprintf("g%d/k%02d", g, k), []byte("v")); err == ErrClosed {
+						return
+					}
+				}
+			}(g)
+		}
+		time.Sleep(time.Duration(i%5) * time.Millisecond)
+		snd.Close()
+		wg.Wait()
+		liveKeys := 0
+		snd.tbl.Range(func(_ string, e *senderEntry) bool {
+			if !e.removing {
+				liveKeys++
+			}
+			return true
+		})
+		if got := snd.live.Load(); int(got) != liveKeys {
+			t.Fatalf("live counter %d != %d non-removing table entries after close race", got, liveKeys)
+		}
+		b.Close()
+	}
+}
+
+// TestReceiverCloseRacesReplies: closing a receiver while it is still
+// ACKing inbound triggers must not race the transport shutdown.
+func TestReceiverCloseRacesReplies(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		a, b, err := lossy.Pipe(lossy.Config{Seed: uint64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := fastConfig(SSRT)
+		snd, err := NewSender(a, b.LocalAddr(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcv, err := NewReceiver(b, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for k := 0; ; k++ {
+				if err := snd.Install(fmt.Sprintf("k%04d", k), []byte("v")); err != nil {
+					return
+				}
+			}
+		}()
+		time.Sleep(time.Duration(i%4) * time.Millisecond)
+		rcv.Close()
+		snd.Close()
+		<-done
 	}
 }
 

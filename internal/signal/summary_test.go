@@ -171,6 +171,40 @@ func TestSummaryRemovedKeyNotRenewed(t *testing.T) {
 	}
 }
 
+// TestStaleSummaryDoesNotRenew: a replayed or delayed summary whose Seq
+// predates the state's latest per-key message must not renew the timeout
+// (mirroring the stale-trigger guard), so state whose owner stopped
+// refreshing still expires under a stream of stale summaries.
+func TestStaleSummaryDoesNotRenew(t *testing.T) {
+	a, b, err := lossy.Pipe(lossy.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	cfg := fastConfig(SS)
+	rcv, err := NewReceiver(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	a.WriteTo(mustEncode(t, 5, "k", []byte("v")), nil)
+	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
+	staleMsg := wire.Message{Type: wire.TypeSummaryRefresh, Seq: 4, Keys: []string{"k"}}
+	stale, err := staleMsg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep replaying the stale summary; the state must still time out.
+	eventually(t, "expiry despite stale summaries", func() bool {
+		a.WriteTo(stale, nil)
+		_, ok := rcv.Get("k")
+		return !ok
+	})
+	if rcv.Stats().Received["summary-refresh"] == 0 {
+		t.Fatal("test delivered no summaries")
+	}
+}
+
 // TestSummaryRefreshCrossesProtocols: summary refresh composes with
 // reliable-trigger protocols (acks still flow for triggers).
 func TestSummaryRefreshCrossesProtocols(t *testing.T) {

@@ -303,6 +303,14 @@ func (tc TimerControl[V]) Key() string { return tc.e.key }
 // deadline. A non-positive delay fires on the next wheel tick.
 func (tc TimerControl[V]) Schedule(kind TimerKind, delay time.Duration) {
 	n := &tc.e.timers[kind]
+	if tc.sh.wheel.count == 0 {
+		// An empty wheel's clock goes stale while the shard idles; re-sync
+		// it here so advance never replays the whole idle gap tick by tick
+		// under the shard lock. Safe because no armed timer can be skipped.
+		if now := tc.t.tickNow(); now > tc.sh.wheel.now {
+			tc.sh.wheel.now = now
+		}
+	}
 	tc.sh.wheel.schedule(n, tc.t.deadlineTick(delay))
 	if n.deadline < tc.sh.nextWake {
 		tc.sh.needPoke = true

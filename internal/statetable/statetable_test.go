@@ -22,6 +22,21 @@ func eventually(t *testing.T, what string, cond func() bool) {
 	t.Fatalf("timed out waiting for %s", what)
 }
 
+// TestScheduleAfterIdleResyncsWheel: scheduling into a shard whose wheel
+// sat empty must snap the wheel clock to the present instead of leaving
+// advance to replay the whole idle gap tick by tick under the shard lock.
+func TestScheduleAfterIdleResyncsWheel(t *testing.T) {
+	tbl := New(Config[int]{Shards: 1, Tick: time.Microsecond})
+	defer tbl.Close()
+	time.Sleep(20 * time.Millisecond) // ~20k ticks of idle gap
+	tbl.Upsert("k", func(_ *int, _ bool, tc TimerControl[int]) {
+		tc.Schedule(0, time.Millisecond)
+		if now := tc.sh.wheel.now; now < 15_000 {
+			t.Errorf("wheel clock %d ticks, want resynced past the idle gap", now)
+		}
+	})
+}
+
 func TestTableBasics(t *testing.T) {
 	tbl := New(Config[string]{Shards: 4})
 	defer tbl.Close()

@@ -111,10 +111,28 @@ func (w *wheel[V]) unlink(n *timerNode[V]) {
 // advance moves the wheel to the target tick and returns the chain (via
 // qnext, in expiry order) of nodes whose deadlines passed. Returned nodes
 // are in state timerQueued; the caller fires each one that is still queued
-// when its turn comes.
+// when its turn comes. Spans that provably hold no deadline and no
+// occupied cascade are crossed in one step, so catching up after a long
+// sleep costs O(events), not O(ticks elapsed).
 func (w *wheel[V]) advance(target int64) *timerNode[V] {
 	var head, tail *timerNode[V]
 	for w.now < target {
+		if w.count == 0 {
+			w.now = target // nothing armed: the rest of the span is empty
+			break
+		}
+		if target-w.now >= wheelSlots {
+			// Catching up over a rotation or more: jump straight to the
+			// next tick holding a deadline or an occupied cascade.
+			next := w.nextEventTick()
+			if next > target {
+				w.now = target
+				break
+			}
+			if next-1 > w.now {
+				w.now = next - 1
+			}
+		}
 		w.now++
 		// Cascade every level whose period boundary this tick crosses,
 		// highest first so re-buckets settle in one pass.
@@ -153,20 +171,45 @@ func (w *wheel[V]) advance(target int64) *timerNode[V] {
 	return head
 }
 
-// nextEventTick returns the next absolute tick at which advance could have
-// work: the first occupied level-0 bucket within the current rotation, or
-// the next level-0 rotation boundary (where upper levels cascade down).
-// Only meaningful when count > 0.
+// nextEventTick returns the next absolute tick at which advance has work:
+// the first occupied level-0 bucket within the current rotation, or the
+// earliest cascade that drains an occupied upper-level bucket. Boundaries
+// with nothing to cascade are skipped, so a shard holding only far-future
+// timers sleeps until the cascade that actually moves them instead of
+// waking every rotation. Only meaningful when count > 0.
+//
+// The upper-level scan is exact: a level-l node's delta was below
+// wheelSlots^(l+1) ticks when bucketed and only shrinks afterwards, so its
+// bucket index is within one rotation of the current position and the
+// first occupied bucket ahead is the one that cascades soonest, at tick
+// index<<(wheelBits·l).
 func (w *wheel[V]) nextEventTick() int64 {
-	for i := int64(1); i <= wheelSlots; i++ {
+	best := int64(0)
+	for i := int64(1); i < wheelSlots; i++ {
 		tick := w.now + i
-		if tick&wheelMask == 0 {
-			// Rotation boundary: upper levels may cascade here.
-			return tick
-		}
 		if w.slots[0][tick&wheelMask] != nil {
-			return tick
+			best = tick
+			break
 		}
 	}
-	return w.now + wheelSlots
+	for l := 1; l < wheelLevels; l++ {
+		shift := uint(wheelBits * l)
+		cur := w.now >> shift
+		if best != 0 && best <= (cur+1)<<shift {
+			break // best precedes any cascade at this level or above
+		}
+		for i := int64(1); i <= wheelSlots; i++ {
+			idx := cur + i
+			if w.slots[l][idx&wheelMask] != nil {
+				if t := idx << shift; best == 0 || t < best {
+					best = t
+				}
+				break
+			}
+		}
+	}
+	if best == 0 {
+		return w.now + wheelSpan // unreachable while count > 0
+	}
+	return best
 }

@@ -201,6 +201,72 @@ func TestWheelMassExpiryOneTick(t *testing.T) {
 	}
 }
 
+// TestWheelNextEventTickSkipsEmptyBoundaries: a wheel holding only a
+// far-future timer sleeps straight to the cascade that moves it, not to
+// every 256-tick rotation boundary in between.
+func TestWheelNextEventTickSkipsEmptyBoundaries(t *testing.T) {
+	var w wheel[int]
+	n := newNode("far")
+	w.schedule(n, 70000) // level 2: 65536 ≤ delta < 65536·256
+	if got := w.nextEventTick(); got != 65536 {
+		t.Fatalf("nextEventTick = %d, want 65536 (level-2 cascade)", got)
+	}
+	if fired := w.advance(65536); fired != nil { // cascades down to level 1
+		t.Fatalf("fired early: %v", drain(fired))
+	}
+	if got := w.nextEventTick(); got != 69888 {
+		t.Fatalf("nextEventTick = %d, want 69888 (level-1 cascade)", got)
+	}
+	if fired := w.advance(69888); fired != nil { // cascades down to level 0
+		t.Fatalf("fired early: %v", drain(fired))
+	}
+	if got := w.nextEventTick(); got != 70000 {
+		t.Fatalf("nextEventTick = %d, want the deadline 70000", got)
+	}
+}
+
+// TestWheelNextEventTickLevelZeroAcrossBoundary: with no upper-level
+// timers, a level-0 deadline past the rotation boundary is reported
+// directly — the empty boundary itself is not a wakeup.
+func TestWheelNextEventTickLevelZeroAcrossBoundary(t *testing.T) {
+	var w wheel[int]
+	w.advance(0x80)
+	n := newNode("wrap")
+	w.schedule(n, 0x130) // delta 0xB0 < 256, slot beyond the 0x100 boundary
+	if got := w.nextEventTick(); got != 0x130 {
+		t.Fatalf("nextEventTick = %d, want 0x130", got)
+	}
+}
+
+// TestWheelAdvanceSkipsEmptySpans: catching up across a huge empty span
+// costs O(events); without the jump this advance replays ~2^32 ticks one
+// by one and the test times out.
+func TestWheelAdvanceSkipsEmptySpans(t *testing.T) {
+	var w wheel[int]
+	n := newNode("far")
+	w.schedule(n, wheelSpan*2) // clamped to wheelSpan-1, parked in level 3
+	if fired := w.advance(wheelSpan - 2); fired != nil {
+		t.Fatalf("fired early: %v", drain(fired))
+	}
+	if got := drain(w.advance(wheelSpan - 1)); len(got) != 1 {
+		t.Fatalf("fired = %v at the clamped horizon", got)
+	}
+	if w.count != 0 {
+		t.Fatalf("count = %d after fire", w.count)
+	}
+}
+
+// TestWheelNextEventTickNearestWins: the earliest event across levels is
+// reported, whether it is a level-0 deadline or an upper-level cascade.
+func TestWheelNextEventTickNearestWins(t *testing.T) {
+	var w wheel[int]
+	w.schedule(newNode("far"), 70000)
+	w.schedule(newNode("near"), 200)
+	if got := w.nextEventTick(); got != 200 {
+		t.Fatalf("nextEventTick = %d, want 200", got)
+	}
+}
+
 // TestWheelCascadePreservesManyTimers: timers spread over several levels
 // all fire exactly once at the right tick as cascades rehash them.
 func TestWheelCascadePreservesManyTimers(t *testing.T) {
