@@ -15,10 +15,21 @@
 //	    Self-contained two-endpoint demonstration over an in-memory lossy
 //	    channel: install, update, false removal + repair, explicit removal.
 //
+//	signald -mode relay -addr 127.0.0.1:7414 -peer 127.0.0.1:7413
+//	    Run a relay hop: state installed at -addr is re-signaled to the
+//	    next hop at -peer, so chains of relays run the protocols live
+//	    across N hops (start the serve endpoint last in the chain).
+//
+//	signald -mode send -peers 10.0.0.1:7413,10.0.0.2:7413 -count 100
+//	    Multi-peer fan-out: one node maintains -count keys at every peer
+//	    over a single socket (per-destination sessions, one summary
+//	    stream per peer with -summary-refresh).
+//
 // Scaling knobs: -shards sets the state-table shard count (one lock and
-// one timing-wheel goroutine per shard), and -summary-refresh batches up
-// to -summary-keys key renewals into each refresh datagram (RFC
-// 2961-style refresh reduction).
+// one timing-wheel goroutine per shard), -summary-refresh batches up to
+// -summary-keys key renewals into each refresh datagram (RFC 2961-style
+// refresh reduction), and -coalesce-acks batches a receiver's replies
+// into one ack-batch datagram per peer per flush tick.
 package main
 
 import (
@@ -32,18 +43,21 @@ import (
 	"time"
 
 	"softstate/internal/lossy"
+	"softstate/internal/node"
 	sig "softstate/internal/signal"
 	"softstate/internal/singlehop"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "demo", "serve, send, or demo")
+		mode    = flag.String("mode", "demo", "serve, send, relay, or demo")
 		proto   = flag.String("proto", "SS+ER", "protocol: SS, SS+ER, SS+RT, SS+RTR, HS")
-		addr    = flag.String("addr", "127.0.0.1:7413", "listen address (serve)")
-		peer    = flag.String("peer", "127.0.0.1:7413", "receiver address (send)")
+		addr    = flag.String("addr", "127.0.0.1:7413", "listen address (serve, relay)")
+		peer    = flag.String("peer", "127.0.0.1:7413", "receiver address (send); next hop (relay)")
+		peers   = flag.String("peers", "", "comma-separated receiver addresses for multi-peer fan-out (send)")
 		key     = flag.String("key", "demo/key", "state key (send)")
 		value   = flag.String("value", "hello", "state value (send)")
+		count   = flag.Int("count", 1, "keys installed per peer in fan-out mode (send with -peers)")
 		hold    = flag.Duration("hold", 20*time.Second, "how long to maintain state (send)")
 		refresh = flag.Duration("refresh", 2*time.Second, "refresh interval R")
 		loss    = flag.Float64("loss", 0.2, "channel loss probability (demo)")
@@ -51,6 +65,8 @@ func main() {
 		summary = flag.Bool("summary-refresh", false,
 			"batch refreshes into summary datagrams (RFC 2961-style refresh reduction)")
 		summaryKeys = flag.Int("summary-keys", 64, "max keys per summary datagram")
+		coalesce    = flag.Bool("coalesce-acks", false,
+			"batch receiver replies into one ack-batch datagram per peer per flush tick")
 	)
 	flag.Parse()
 
@@ -67,6 +83,7 @@ func main() {
 		Shards:          *shards,
 		SummaryRefresh:  *summary,
 		SummaryMaxKeys:  *summaryKeys,
+		CoalesceAcks:    *coalesce,
 	}
 
 	switch *mode {
@@ -76,7 +93,17 @@ func main() {
 			os.Exit(1)
 		}
 	case "send":
-		if err := send(*peer, cfg, *key, []byte(*value), *hold); err != nil {
+		if *peers != "" {
+			err = fanout(splitPeers(*peers), cfg, *key, []byte(*value), *count, *hold)
+		} else {
+			err = send(*peer, cfg, *key, []byte(*value), *hold)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "signald:", err)
+			os.Exit(1)
+		}
+	case "relay":
+		if err := relay(*addr, *peer, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, "signald:", err)
 			os.Exit(1)
 		}
@@ -89,6 +116,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "signald: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
+}
+
+// splitPeers parses the -peers list.
+func splitPeers(list string) []string {
+	var out []string
+	for _, s := range strings.Split(list, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 func parseProto(name string) (sig.Protocol, error) {
@@ -168,6 +206,110 @@ func send(peerAddr string, cfg sig.Config, key string, value []byte, hold time.D
 	time.Sleep(500 * time.Millisecond) // let reliable removal finish
 	st := snd.Stats()
 	fmt.Printf("signald: sent %d messages (%v)\n", st.TotalSent(), st.Sent)
+	return nil
+}
+
+// relay runs one interior hop: upstream state held at addr is re-signaled
+// to the next hop at nextHop.
+func relay(addr, nextHop string, cfg sig.Config) error {
+	next, err := net.ResolveUDPAddr("udp", nextHop)
+	if err != nil {
+		return err
+	}
+	up, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return err
+	}
+	down, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		up.Close()
+		return err
+	}
+	rly, err := node.NewRelay(up, down, next, cfg)
+	if err != nil {
+		up.Close()
+		down.Close()
+		return err
+	}
+	defer rly.Close()
+	fmt.Printf("signald: %v relay on %v → %v (T=%v); Ctrl-C to stop\n",
+		cfg.Protocol, up.LocalAddr(), next, cfg.Timeout)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case ev, ok := <-rly.Receiver().Events():
+			if !ok {
+				return nil
+			}
+			fmt.Printf("%s  %-14s key=%q value=%q (%d keys held, %d relayed)\n",
+				time.Now().Format("15:04:05.000"), ev.Kind, ev.Key, ev.Value,
+				rly.Receiver().Len(), rly.Relayed())
+		case <-stop:
+			fmt.Println("\nsignald: relay shutting down")
+			return nil
+		}
+	}
+}
+
+// fanout installs count keys at every peer from one node socket.
+func fanout(peerList []string, cfg sig.Config, key string, value []byte, count int, hold time.Duration) error {
+	addrs := make([]net.Addr, len(peerList))
+	for i, p := range peerList {
+		a, err := net.ResolveUDPAddr("udp", p)
+		if err != nil {
+			return err
+		}
+		addrs[i] = a
+	}
+	conn, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		return err
+	}
+	n, err := node.New(conn, cfg)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	defer n.Close()
+	go logEvents("node", n.Events())
+
+	fmt.Printf("signald: installing %d keys at each of %d peers via %v, holding %v\n",
+		count, len(addrs), cfg.Protocol, hold)
+	for _, a := range addrs {
+		for i := 0; i < count; i++ {
+			k := key
+			if count > 1 {
+				k = fmt.Sprintf("%s/%d", key, i)
+			}
+			if err := n.Install(a, k, value); err != nil {
+				return err
+			}
+		}
+	}
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case <-time.After(hold):
+	case <-stop:
+		fmt.Println("\nsignald: interrupted")
+	}
+	for _, a := range addrs {
+		for i := 0; i < count; i++ {
+			k := key
+			if count > 1 {
+				k = fmt.Sprintf("%s/%d", key, i)
+			}
+			if err := n.Remove(a, k); err != nil {
+				return err
+			}
+		}
+	}
+	time.Sleep(500 * time.Millisecond) // let reliable removal finish
+	st := n.Stats()
+	fmt.Printf("signald: sent %d datagrams across %d peers (%v)\n",
+		st.TotalSent(), len(addrs), st.Sent)
 	return nil
 }
 

@@ -24,3 +24,19 @@ func TestParseProto(t *testing.T) {
 		t.Fatal("unknown protocol accepted")
 	}
 }
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" 10.0.0.1:7413, 10.0.0.2:7413 ,,10.0.0.3:7413")
+	want := []string{"10.0.0.1:7413", "10.0.0.2:7413", "10.0.0.3:7413"}
+	if len(got) != len(want) {
+		t.Fatalf("splitPeers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitPeers = %v, want %v", got, want)
+		}
+	}
+	if out := splitPeers(""); out != nil {
+		t.Fatalf("splitPeers(\"\") = %v, want nil", out)
+	}
+}

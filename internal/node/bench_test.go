@@ -1,0 +1,149 @@
+package node
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"softstate/internal/lossy"
+	"softstate/internal/signal"
+)
+
+// discardConn swallows writes and blocks reads, so benchmarks measure the
+// node, not a transport.
+type discardConn struct {
+	done chan struct{}
+}
+
+func newDiscardConn() *discardConn { return &discardConn{done: make(chan struct{})} }
+
+func (c *discardConn) WriteTo(p []byte, _ net.Addr) (int, error) { return len(p), nil }
+
+func (c *discardConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	<-c.done
+	return 0, nil, net.ErrClosed
+}
+
+func (c *discardConn) Close() error {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+	return nil
+}
+
+func (c *discardConn) LocalAddr() net.Addr              { return peerAddr("discard") }
+func (c *discardConn) SetDeadline(time.Time) error      { return nil }
+func (c *discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// peerAddr is a synthetic destination address for fan-out benchmarks.
+type peerAddr string
+
+func (a peerAddr) Network() string { return "bench" }
+func (a peerAddr) String() string  { return string(a) }
+
+// benchNode builds a node over a discarding transport with peers × keys
+// state installed and background refreshing parked (hour-long interval),
+// so the benchmark drives sweeps explicitly.
+func benchNode(b *testing.B, peers, keys int) *Node {
+	b.Helper()
+	cfg := signal.Config{
+		Protocol:        signal.SS,
+		RefreshInterval: time.Hour, // sweeps driven by hand below
+		Timeout:         3 * time.Hour,
+		SummaryRefresh:  true,
+		SummaryMaxKeys:  64,
+		Shards:          64,
+	}
+	n, err := New(newDiscardConn(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { n.Close() })
+	for p := 0; p < peers; p++ {
+		addr := peerAddr(fmt.Sprintf("peer/%03d", p))
+		for k := 0; k < keys; k++ {
+			if err := n.Install(addr, fmt.Sprintf("flow/%06d", k), []byte("10Mbps")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return n
+}
+
+// BenchmarkNodeFanoutSummarySweep is the acceptance benchmark: one node
+// holding 64 peers × 256 keys (16k keys total) renews everything in one
+// sweep of per-peer summary datagrams — 64 keys per datagram, a 64×
+// reduction against per-key refreshes for the identical key set.
+func BenchmarkNodeFanoutSummarySweep(b *testing.B) {
+	const peers, keys = 64, 256
+	n := benchNode(b, peers, keys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += n.SummarySweep()
+	}
+	datagrams := float64(total) / float64(b.N)
+	b.ReportMetric(datagrams, "datagrams/round")
+	b.ReportMetric(float64(peers*keys)/datagrams, "keys/datagram")
+	b.ReportMetric(float64(b.N)*peers*keys/b.Elapsed().Seconds(), "keys-refreshed/s")
+	if want := float64(peers * keys / 64); datagrams != want {
+		b.Fatalf("sweep took %.0f datagrams, want %.0f (64 keys each)", datagrams, want)
+	}
+}
+
+// BenchmarkNodeFanoutInstall measures trigger throughput across many
+// peer sessions into the shared sharded table.
+func BenchmarkNodeFanoutInstall(b *testing.B) {
+	n := benchNode(b, 64, 0)
+	addrs := make([]net.Addr, 64)
+	for p := range addrs {
+		addrs[p] = peerAddr(fmt.Sprintf("peer/%03d", p))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_ = n.Install(addrs[i%64], fmt.Sprintf("k/%d", i), []byte("v"))
+			i++
+		}
+	})
+}
+
+// BenchmarkChainInstallLatency measures end-to-end install latency across
+// a live 5-hop (6-node) relay chain: the time from Origin.Install to the
+// tail receiver holding the key, including every per-hop re-signal.
+func BenchmarkChainInstallLatency(b *testing.B) {
+	cfg := signal.Config{
+		Protocol:        signal.SSRT,
+		RefreshInterval: time.Hour, // isolate trigger propagation
+		Timeout:         3 * time.Hour,
+		Retransmit:      50 * time.Millisecond,
+		Shards:          4,
+	}
+	c, err := NewChain(6, cfg, lossy.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	tail := c.Tail.Events()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("flow/%d", i)
+		if err := c.Install(key, []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+		for ev := range tail {
+			if ev.Kind == signal.EventInstalled && ev.Key == key {
+				break
+			}
+		}
+	}
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e6, "µs/end-to-end-install")
+}

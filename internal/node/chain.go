@@ -1,0 +1,137 @@
+package node
+
+import (
+	"fmt"
+	"net"
+
+	"softstate/internal/lossy"
+	"softstate/internal/signal"
+)
+
+// Chain is a live N-node signaling path: an origin Node, N-2 interior
+// Relays, and a tail Receiver, each hop joined by its own independently
+// impaired in-memory link. It is the runtime counterpart of the paper's
+// multi-hop topology (source → routers → sink).
+type Chain struct {
+	// Origin is the head node; Install/Remove on the Chain go through it.
+	Origin *Node
+	// Relays are the interior hops, upstream to downstream.
+	Relays []*Relay
+	// Tail is the final receiver.
+	Tail *signal.Receiver
+
+	first net.Addr // origin's peer: the first hop's upstream address
+}
+
+// NewChain builds a chain of nodes ≥ 2 nodes (nodes-1 links), every link
+// subject to link impairments. cfg applies to every hop.
+func NewChain(nodes int, cfg signal.Config, link lossy.Config) (*Chain, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("node: chain needs ≥ 2 nodes, got %d", nodes)
+	}
+	c := &Chain{}
+	// Link i connects node i to node i+1: a[i] is node i's downstream
+	// socket, b[i] is node i+1's upstream socket.
+	a := make([]net.PacketConn, nodes-1)
+	b := make([]net.PacketConn, nodes-1)
+	fail := func(err error) (*Chain, error) {
+		c.Close()
+		for i := range a { // conn Close is idempotent, so double-closing
+			if a[i] != nil { // endpoint-owned sockets is harmless
+				a[i].Close()
+			}
+			if b[i] != nil {
+				b[i].Close()
+			}
+		}
+		return nil, err
+	}
+	for i := 0; i < nodes-1; i++ {
+		la, lb, err := lossy.Pipe(link)
+		if err != nil {
+			return fail(err)
+		}
+		a[i], b[i] = la, lb
+	}
+	origin, err := New(a[0], cfg)
+	if err != nil {
+		return fail(err)
+	}
+	c.Origin = origin
+	c.first = b[0].LocalAddr()
+	for i := 1; i < nodes-1; i++ {
+		relay, err := NewRelay(b[i-1], a[i], b[i].LocalAddr(), cfg)
+		if err != nil {
+			return fail(err)
+		}
+		c.Relays = append(c.Relays, relay)
+	}
+	tail, err := signal.NewReceiver(b[nodes-2], cfg)
+	if err != nil {
+		return fail(err)
+	}
+	c.Tail = tail
+	return c, nil
+}
+
+// Install installs key at the first hop; relays propagate it to the tail.
+func (c *Chain) Install(key string, value []byte) error {
+	return c.Origin.Install(c.first, key, value)
+}
+
+// Update changes key's value end to end.
+func (c *Chain) Update(key string, value []byte) error {
+	return c.Origin.Update(c.first, key, value)
+}
+
+// Remove withdraws key; with explicit-removal protocols the removal
+// signal cascades hop by hop, otherwise each hop times out in turn.
+func (c *Chain) Remove(key string) error {
+	return c.Origin.Remove(c.first, key)
+}
+
+// Receivers returns every state-holding hop, upstream to downstream: the
+// relays' upstream receivers, then the tail.
+func (c *Chain) Receivers() []*signal.Receiver {
+	out := make([]*signal.Receiver, 0, len(c.Relays)+1)
+	for _, r := range c.Relays {
+		out = append(out, r.Receiver())
+	}
+	if c.Tail != nil {
+		out = append(out, c.Tail)
+	}
+	return out
+}
+
+// Holds reports how many hops currently hold state for key. It uses the
+// receivers' any-sender Get, a full-table scan per hop — fine for tests
+// and demos, not for hot paths at scale (use GetFrom with a known peer).
+func (c *Chain) Holds(key string) int {
+	n := 0
+	for _, r := range c.Receivers() {
+		if _, ok := r.Get(key); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Close shuts every element down, head to tail. Safe on a partially
+// constructed chain.
+func (c *Chain) Close() error {
+	var err error
+	if c.Origin != nil {
+		err = c.Origin.Close()
+	}
+	for _, r := range c.Relays {
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if c.Tail != nil {
+		if cerr := c.Tail.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,117 @@
+// Package node scales the signaling runtime from one-connection/one-peer
+// endpoints to multi-peer signaling nodes and multi-hop relay chains —
+// the live counterpart of the paper's multi-hop analysis (§III-B) and of
+// RSVP-style refresh-reduction deployments.
+//
+// A Node is the many-peer form of internal/signal.Sender: it
+// demultiplexes a single net.PacketConn across a sharded per-destination
+// peer table, each peer owning its own sender session (sequence space,
+// refresh/retransmit timers, summary-refresh batches) while all per-key
+// state shares one internal/statetable keyed by (peer, key). One Node
+// therefore maintains state at hundreds of downstream receivers over one
+// socket, with per-peer summary refresh keeping the datagram reduction of
+// RFC 2961.
+//
+// A Relay composes a Receiver (upstream side) with a one-peer Node
+// (downstream side): state installed at the relay propagates to the next
+// hop, removals and expirations propagate likewise, so chains of relays
+// run the paper's SS / SS+ER / SS+RT / SS+RTR / HS protocols live across
+// N hops. Chain wires such a pipeline over lossy in-memory links for
+// tests, benchmarks, and demos.
+package node
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"softstate/internal/signal"
+)
+
+// Node is a multi-peer signaling sender: one net.PacketConn, many
+// per-destination sessions. All methods are safe for concurrent use.
+type Node struct {
+	ss      *signal.Sessions
+	wg      sync.WaitGroup
+	unknown atomic.Int64 // datagrams from addresses with no session
+}
+
+// New creates a node speaking cfg.Protocol over conn and starts its
+// receive loop, which routes each inbound datagram to the session for its
+// source address.
+func New(conn net.PacketConn, cfg signal.Config) (*Node, error) {
+	if conn == nil {
+		return nil, errors.New("node: nil conn")
+	}
+	n := &Node{ss: signal.NewSessions(conn, cfg)}
+	n.wg.Add(1)
+	go n.readLoop()
+	return n, nil
+}
+
+// Peer returns the sender session for peer, creating it on first use.
+func (n *Node) Peer(peer net.Addr) *signal.Session { return n.ss.Session(peer) }
+
+// Peers returns all sessions in no particular order.
+func (n *Node) Peers() []*signal.Session { return n.ss.Peers() }
+
+// Install installs (or reinstalls) state for key at peer.
+func (n *Node) Install(peer net.Addr, key string, value []byte) error {
+	return n.ss.Session(peer).Install(key, value)
+}
+
+// Update changes the state value for key at peer.
+func (n *Node) Update(peer net.Addr, key string, value []byte) error {
+	return n.ss.Session(peer).Update(key, value)
+}
+
+// Remove withdraws the state for key at peer.
+func (n *Node) Remove(peer net.Addr, key string) error {
+	return n.ss.Session(peer).Remove(key)
+}
+
+// Live returns the number of live keys across all peers.
+func (n *Node) Live() int { return n.ss.Live() }
+
+// Events exposes the observability stream shared by all sessions; closed
+// on Close. Event.Peer identifies the session.
+func (n *Node) Events() <-chan signal.Event { return n.ss.Events() }
+
+// Stats returns a snapshot of message counters across all sessions.
+func (n *Node) Stats() signal.Stats { return n.ss.Stats() }
+
+// Unknown reports how many inbound datagrams carried a source address
+// with no session (late replies from dropped peers, or strays).
+func (n *Node) Unknown() int { return int(n.unknown.Load()) }
+
+// SummarySweep sends one summary-refresh round for every peer now and
+// returns the datagram count; see signal.Sessions.SummarySweep.
+func (n *Node) SummarySweep() int { return n.ss.SummarySweep() }
+
+// Close stops all timers, closes the transport, and waits for the receive
+// loop to drain. The events channel is closed afterwards. Idempotent.
+func (n *Node) Close() error {
+	err := n.ss.Shutdown()
+	n.wg.Wait()
+	n.ss.CloseEvents()
+	return err
+}
+
+// readLoop demultiplexes inbound datagrams by source address.
+func (n *Node) readLoop() {
+	defer n.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		m, from, ok := n.ss.Recv(buf)
+		if !ok {
+			return
+		}
+		sess, ok := n.ss.Lookup(from)
+		if !ok {
+			n.unknown.Add(1)
+			continue
+		}
+		sess.Handle(m)
+	}
+}

@@ -1,0 +1,105 @@
+package node
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+
+	"softstate/internal/signal"
+)
+
+// Relay is one interior hop of a signaling chain: a Receiver facing
+// upstream and a one-peer Node facing downstream. Every state change the
+// upstream side observes — install, update, explicit removal, timeout
+// expiry, false removal — is re-signaled to the next hop with the relay's
+// own timers and sequence space, exactly the paper's multi-hop model where
+// each hop runs the protocol pairwise.
+//
+// Keys pass through unchanged, so a relay assumes upstream senders use
+// distinct keys (origin-scoped names like "flow/<id>"); two senders
+// installing the same key at a relay merge last-writer-wins downstream.
+type Relay struct {
+	rcv  *signal.Receiver
+	down *Node
+	next net.Addr
+
+	relayed atomic.Int64 // downstream operations attempted
+	errs    atomic.Int64 // downstream operations rejected (e.g. closing)
+}
+
+// NewRelay creates a relay speaking cfg.Protocol on both sides: upstream
+// state is held on the upstream conn, and propagated to next over the
+// downstream conn. The two conns must be distinct sockets.
+func NewRelay(upstream, downstream net.PacketConn, next net.Addr, cfg signal.Config) (*Relay, error) {
+	if upstream == nil || downstream == nil || next == nil {
+		return nil, errors.New("node: nil relay conn or next hop")
+	}
+	r := &Relay{next: next}
+	dcfg := cfg
+	dcfg.OnEvent = nil // the user hook observes the upstream side only
+	down, err := New(downstream, dcfg)
+	if err != nil {
+		return nil, err
+	}
+	r.down = down
+	rcfg := cfg
+	user := cfg.OnEvent
+	rcfg.OnEvent = func(ev signal.Event) {
+		r.onUpstream(ev)
+		if user != nil {
+			user(ev)
+		}
+	}
+	rcv, err := signal.NewReceiver(upstream, rcfg)
+	if err != nil {
+		down.Close()
+		return nil, err
+	}
+	r.rcv = rcv
+	return r, nil
+}
+
+// onUpstream propagates one upstream state change downstream. It runs
+// synchronously on the receiver's protocol goroutines (the OnEvent hook
+// never drops, unlike the Events channel), and only touches the
+// downstream node, so it cannot deadlock against the upstream table.
+func (r *Relay) onUpstream(ev signal.Event) {
+	switch ev.Kind {
+	case signal.EventInstalled, signal.EventUpdated:
+		r.relayed.Add(1)
+		if err := r.down.Install(r.next, ev.Key, ev.Value); err != nil {
+			r.errs.Add(1)
+		}
+	case signal.EventRemoved, signal.EventExpired, signal.EventFalseRemoval:
+		r.relayed.Add(1)
+		if err := r.down.Remove(r.next, ev.Key); err != nil {
+			// Unknown keys are expected: a removal can outrun an install
+			// that never propagated (e.g. relayed while shutting down).
+			r.errs.Add(1)
+		}
+	}
+}
+
+// Receiver returns the upstream side, for state inspection and events.
+func (r *Relay) Receiver() *signal.Receiver { return r.rcv }
+
+// Downstream returns the downstream node, for stats and events.
+func (r *Relay) Downstream() *Node { return r.down }
+
+// Relayed returns how many upstream changes were re-signaled downstream.
+func (r *Relay) Relayed() int { return int(r.relayed.Load()) }
+
+// Errs returns how many downstream re-signals were rejected (normally
+// only while shutting down, or removals whose install never propagated).
+func (r *Relay) Errs() int { return int(r.errs.Load()) }
+
+// Close shuts the upstream receiver first (stopping propagation), then
+// the downstream node. State already propagated is left to downstream
+// timers — soft state cleans itself up.
+func (r *Relay) Close() error {
+	err := r.rcv.Close()
+	if derr := r.down.Close(); err == nil {
+		err = derr
+	}
+	return err
+}

@@ -73,11 +73,11 @@ func benchSender(b *testing.B, nKeys int, summary bool) *Sender {
 // emits one refresh datagram, exactly what the wheel does per interval.
 func refreshRound(s *Sender) int {
 	sent := 0
-	s.tbl.Range(func(key string, e *senderEntry) bool {
+	s.ss.tbl.Range(func(ck string, e *senderEntry) bool {
 		if e.removing {
 			return true
 		}
-		s.send(wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: key, Value: e.value})
+		s.ss.send(wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: userKey(ck), Value: e.value}, e.sess.peer)
 		sent++
 		return true
 	})

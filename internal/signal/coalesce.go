@@ -1,0 +1,69 @@
+package signal
+
+import (
+	"net"
+	"sync"
+
+	"softstate/internal/wire"
+)
+
+// ackBatcher accumulates acknowledgements between flush ticks, grouped by
+// destination peer so each tick emits one ack-batch datagram per peer.
+// The kick channel fires on the empty→non-empty transition, so the
+// flusher sleeps indefinitely while no replies are pending instead of
+// polling every interval (the same idle-wakeup discipline as the timing
+// wheel).
+type ackBatcher struct {
+	mu      sync.Mutex
+	pending map[string]*peerAcks
+	kick    chan struct{}
+}
+
+// peerAcks is one peer's accumulated acknowledgements.
+type peerAcks struct {
+	to    net.Addr
+	items []wire.AckItem
+}
+
+func newAckBatcher() *ackBatcher {
+	return &ackBatcher{
+		pending: make(map[string]*peerAcks),
+		kick:    make(chan struct{}, 1),
+	}
+}
+
+// add queues one acknowledgement for to, waking the flusher if the
+// batcher was empty.
+func (b *ackBatcher) add(to net.Addr, item wire.AckItem) {
+	addr := to.String()
+	b.mu.Lock()
+	wasEmpty := len(b.pending) == 0
+	pa := b.pending[addr]
+	if pa == nil {
+		pa = &peerAcks{to: to}
+		b.pending[addr] = pa
+	}
+	pa.items = append(pa.items, item)
+	b.mu.Unlock()
+	if wasEmpty {
+		select {
+		case b.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// take removes and returns everything queued so far.
+func (b *ackBatcher) take() []*peerAcks {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.pending) == 0 {
+		return nil
+	}
+	out := make([]*peerAcks, 0, len(b.pending))
+	for _, pa := range b.pending {
+		out = append(out, pa)
+	}
+	b.pending = make(map[string]*peerAcks)
+	return out
+}

@@ -38,16 +38,22 @@ func (tp *transport) close() error {
 }
 
 // eventSink is the non-blocking observability stream, fenced so emitters
-// never race the channel closing.
+// never race the channel closing. An optional synchronous hook (fn) sees
+// every event, even ones the channel would drop.
 type eventSink struct {
 	ch     chan Event
+	fn     func(Event) // Config.OnEvent; may be nil
 	mu     sync.RWMutex // write-held only to close ch
 	closed bool
 }
 
 // emit delivers ev without ever blocking the protocol, dropping it if the
-// buffer is full or the sink already closed.
+// buffer is full or the sink already closed. The hook runs first so
+// consumers that need lossless delivery (relays) see every event.
 func (es *eventSink) emit(ev Event) {
+	if es.fn != nil {
+		es.fn(ev)
+	}
 	es.mu.RLock()
 	if !es.closed {
 		select {
@@ -58,11 +64,13 @@ func (es *eventSink) emit(ev Event) {
 	es.mu.RUnlock()
 }
 
-// close closes the stream; callers must have stopped all emitters that
-// are not fenced by emit's read lock.
+// close closes the stream (idempotently); callers must have stopped all
+// emitters that are not fenced by emit's read lock.
 func (es *eventSink) close() {
 	es.mu.Lock()
-	es.closed = true
-	close(es.ch)
+	if !es.closed {
+		es.closed = true
+		close(es.ch)
+	}
 	es.mu.Unlock()
 }

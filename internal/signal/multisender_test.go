@@ -1,0 +1,140 @@
+package signal
+
+import (
+	"bytes"
+	"net"
+	"testing"
+)
+
+// udpConn opens a loopback UDP socket or skips the test.
+func udpConn(t *testing.T) net.PacketConn {
+	t.Helper()
+	c, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("no UDP loopback: %v", err)
+	}
+	return c
+}
+
+// TestReceiverKeysStatePerSender is the peer-rebinding regression: two
+// concurrent senders install the *same* key at one receiver, and each
+// must get its own entry, value, sequence space, and timeout — a refresh
+// from one sender must not keep the other's state alive, and one sender
+// dying must not take the other's state down.
+func TestReceiverKeysStatePerSender(t *testing.T) {
+	rc := udpConn(t)
+	ca, cb := udpConn(t), udpConn(t)
+	cfg := fastConfig(SS)
+	rcv, err := NewReceiver(rc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	sndA, err := NewSender(ca, rc.LocalAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sndA.Close()
+	sndB, err := NewSender(cb, rc.LocalAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sndB.Close()
+
+	if err := sndA.Install("shared/key", []byte("from-A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sndB.Install("shared/key", []byte("from-B")); err != nil {
+		t.Fatal(err)
+	}
+	// Both entries coexist: one per source address.
+	eventually(t, "both installs", func() bool { return rcv.Len() == 2 })
+	va, okA := rcv.GetFrom(ca.LocalAddr(), "shared/key")
+	vb, okB := rcv.GetFrom(cb.LocalAddr(), "shared/key")
+	if !okA || !bytes.Equal(va, []byte("from-A")) {
+		t.Fatalf("sender A's entry = %q, %v", va, okA)
+	}
+	if !okB || !bytes.Equal(vb, []byte("from-B")) {
+		t.Fatalf("sender B's entry = %q, %v", vb, okB)
+	}
+
+	// Kill sender A without removing state: only A's entry may expire.
+	// B keeps refreshing, so its entry must survive A's timeout — before
+	// per-source keying, B's refreshes (with an unrelated sequence space)
+	// were compared against A's and could rebind or starve A's entry.
+	sndA.Close()
+	eventually(t, "A's entry expires", func() bool {
+		_, ok := rcv.GetFrom(ca.LocalAddr(), "shared/key")
+		return !ok
+	})
+	if _, ok := rcv.GetFrom(cb.LocalAddr(), "shared/key"); !ok {
+		t.Fatal("sender B's state expired with A's")
+	}
+	if rcv.Len() != 1 {
+		t.Fatalf("receiver holds %d entries, want 1", rcv.Len())
+	}
+}
+
+// TestReceiverIndependentSeqSpaces: sequence numbers are compared only
+// within one sender's session, so a low-seq trigger from a new sender is
+// not treated as stale replay of another sender's high-seq state.
+func TestReceiverIndependentSeqSpaces(t *testing.T) {
+	rc := udpConn(t)
+	ca, cb := udpConn(t), udpConn(t)
+	defer ca.Close()
+	defer cb.Close()
+	cfg := fastConfig(SS)
+	rcv, err := NewReceiver(rc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+
+	// Sender A's session is far along: seq 1000.
+	high := mustEncode(t, 1000, "k", []byte("old-high"))
+	if _, err := ca.WriteTo(high, rc.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "A installs", func() bool { _, ok := rcv.GetFrom(ca.LocalAddr(), "k"); return ok })
+	// Sender B's fresh session starts at seq 1 — it must install, not be
+	// dropped as a stale duplicate of A's seq 1000.
+	low := mustEncode(t, 1, "k", []byte("new-low"))
+	if _, err := cb.WriteTo(low, rc.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "B installs despite lower seq", func() bool {
+		v, ok := rcv.GetFrom(cb.LocalAddr(), "k")
+		return ok && bytes.Equal(v, []byte("new-low"))
+	})
+}
+
+// TestInjectFalseRemovalHitsAllSenders: a false external removal for a key
+// held by two senders drops and notifies both.
+func TestInjectFalseRemovalHitsAllSenders(t *testing.T) {
+	rc := udpConn(t)
+	ca, cb := udpConn(t), udpConn(t)
+	cfg := fastConfig(SSRT)
+	rcv, err := NewReceiver(rc, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	sndA, err := NewSender(ca, rc.LocalAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sndA.Close()
+	sndB, err := NewSender(cb, rc.LocalAddr(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sndB.Close()
+	sndA.Install("k", []byte("a"))
+	sndB.Install("k", []byte("b"))
+	eventually(t, "both installs", func() bool { return rcv.Len() == 2 })
+	if !rcv.InjectFalseRemoval("k") {
+		t.Fatal("InjectFalseRemoval found no state")
+	}
+	// Both senders are notified and repair their own entries.
+	eventually(t, "both repaired", func() bool { return rcv.Len() == 2 })
+}

@@ -5,17 +5,20 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"softstate/internal/statetable"
 	"softstate/internal/wire"
 )
 
 // Receiver holds signaling state installed by remote Senders. One Receiver
-// can serve many senders and keys; replies (ACKs, NACKs, notifications) go
-// to the source address of the triggering datagram. State lives in a
-// sharded state table whose timing wheels drive every state-timeout
-// deadline, so one Receiver holds millions of keys with a fixed number of
-// goroutines. All methods are safe for concurrent use.
+// can serve many senders concurrently: state is keyed by (source address,
+// key), so two senders installing the same key hold independent entries
+// with independent timeouts and sequence spaces, and replies (ACKs, NACKs,
+// notifications) go to the source address of the triggering datagram.
+// State lives in a sharded state table whose timing wheels drive every
+// state-timeout deadline, so one Receiver holds millions of keys with a
+// fixed number of goroutines. All methods are safe for concurrent use.
 type Receiver struct {
 	tp  transport
 	cfg Config
@@ -24,16 +27,24 @@ type Receiver struct {
 	ctrs   counters
 	closed atomic.Bool
 
-	events eventSink
-	wg     sync.WaitGroup
+	events  eventSink
+	acks    *ackBatcher // nil unless cfg.CoalesceAcks
+	done    chan struct{}
+	wg      sync.WaitGroup // read loop
+	flushWG sync.WaitGroup // ack flusher; drained before the transport closes
 }
 
-// receiverEntry is one installed piece of state.
+// receiverEntry is one installed piece of state for one (peer, key) pair.
 type receiverEntry struct {
+	key     string // user key (the table key carries the peer prefix)
 	value   []byte
 	lastSeq uint64
 	peer    net.Addr
 }
+
+// rkey builds the (peer, key) table key. Address strings contain no NUL
+// byte on any supported transport, so the separator is unambiguous.
+func rkey(from, key string) string { return from + "\x00" + key }
 
 // NewReceiver creates a receiver speaking cfg.Protocol on conn and starts
 // its receive loop.
@@ -45,12 +56,18 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 	r := &Receiver{
 		tp:     transport{conn: conn},
 		cfg:    cfg,
-		events: eventSink{ch: make(chan Event, cfg.EventBuffer)},
+		events: eventSink{ch: make(chan Event, cfg.EventBuffer), fn: cfg.OnEvent},
+		done:   make(chan struct{}),
 	}
 	r.tbl = statetable.New(statetable.Config[receiverEntry]{
 		Shards:   cfg.Shards,
 		OnExpire: r.onTimeout,
 	})
+	if cfg.CoalesceAcks {
+		r.acks = newAckBatcher()
+		r.flushWG.Add(1)
+		go r.flushLoop()
+	}
 	r.wg.Add(1)
 	go r.readLoop()
 	return r, nil
@@ -62,9 +79,28 @@ func (r *Receiver) Events() <-chan Event { return r.events.ch }
 // Stats returns a snapshot of message counters.
 func (r *Receiver) Stats() Stats { return r.ctrs.snapshot() }
 
-// Get returns the installed value for key.
+// Get returns an installed value for key from any sender, scanning the
+// table. With a single sender it is equivalent to GetFrom; with several
+// holding the same key it returns an arbitrary one.
 func (r *Receiver) Get(key string) ([]byte, bool) {
-	e, ok := r.tbl.Get(key)
+	var out []byte
+	found := false
+	r.tbl.Range(func(_ string, e *receiverEntry) bool {
+		if e.key == key {
+			out = make([]byte, len(e.value))
+			copy(out, e.value)
+			found = true
+			return false
+		}
+		return true
+	})
+	return out, found
+}
+
+// GetFrom returns the value installed for key by the sender at from — an
+// O(1) lookup on the (peer, key) table.
+func (r *Receiver) GetFrom(from net.Addr, key string) ([]byte, bool) {
+	e, ok := r.tbl.Get(rkey(from.String(), key))
 	if !ok {
 		return nil, false
 	}
@@ -73,35 +109,64 @@ func (r *Receiver) Get(key string) ([]byte, bool) {
 	return out, true
 }
 
-// Len returns the number of installed keys.
+// Len returns the number of installed (peer, key) entries.
 func (r *Receiver) Len() int { return r.tbl.Len() }
 
-// Keys returns the installed keys.
-func (r *Receiver) Keys() []string { return r.tbl.Keys() }
+// Keys returns the installed keys. A key installed by several senders
+// appears once per sender.
+func (r *Receiver) Keys() []string {
+	out := make([]string, 0, r.tbl.Len())
+	r.tbl.Range(func(_ string, e *receiverEntry) bool {
+		out = append(out, e.key)
+		return true
+	})
+	return out
+}
+
+// matches collects the (peer, key) table keys currently holding state for
+// key, across all senders.
+func (r *Receiver) matches(key string) []string {
+	var cks []string
+	r.tbl.Range(func(ck string, e *receiverEntry) bool {
+		if e.key == key {
+			cks = append(cks, ck)
+		}
+		return true
+	})
+	return cks
+}
 
 // InjectFalseRemoval simulates the hard-state external failure signal
-// firing falsely for key: the state is removed and the owning sender is
-// notified so it can repair (paper §II, HS false notification). It reports
-// whether the key existed.
+// firing falsely for key: the state is removed (for every sender holding
+// it) and each owning sender is notified so it can repair (paper §II, HS
+// false notification). It reports whether any state existed.
 func (r *Receiver) InjectFalseRemoval(key string) bool {
 	if r.closed.Load() {
 		return false
 	}
 	dropped := false
-	r.tbl.Update(key, func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
-		dropped = true
-		peer := e.peer
-		r.drop(key, e, tc, EventFalseRemoval)
-		r.send(wire.Message{Type: wire.TypeNotify, Key: key}, peer)
-	})
+	for _, ck := range r.matches(key) {
+		r.tbl.Update(ck, func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+			dropped = true
+			peer := e.peer
+			r.drop(e, tc, EventFalseRemoval)
+			r.send(wire.Message{Type: wire.TypeNotify, Key: key}, peer)
+		})
+	}
 	return dropped
 }
 
-// Close stops all timers, closes the transport, and drains the loop.
+// Close stops all timers, closes the transport, and drains the loops.
 func (r *Receiver) Close() error {
 	if r.closed.Swap(true) {
 		return nil
 	}
+	close(r.done)
+	// The closed flag stops handle() from queueing new acks; wait for the
+	// flusher's final drain while the transport is still open, so pending
+	// coalesced replies go out instead of being dropped by the fence —
+	// matching the immediate-send behavior of the non-coalescing path.
+	r.flushWG.Wait()
 	r.tbl.Close() // no timeout callback runs past this point
 	err := r.tp.close()
 	r.wg.Wait()
@@ -133,35 +198,36 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 	r.ctrs.received[m.Type].Add(1)
 	switch m.Type {
 	case wire.TypeTrigger, wire.TypeRefresh:
-		r.tbl.Upsert(m.Key, func(e *receiverEntry, created bool, tc statetable.TimerControl[receiverEntry]) {
+		r.tbl.Upsert(rkey(from.String(), m.Key), func(e *receiverEntry, created bool, tc statetable.TimerControl[receiverEntry]) {
 			if created {
-				r.emit(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq})
+				e.key = m.Key
+				e.peer = from
+				r.emit(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
 			} else if m.Seq >= e.lastSeq && !bytesEqual(e.value, m.Value) {
-				r.emit(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq})
+				r.emit(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
 			}
 			// Accept only non-stale payloads: a retransmitted old trigger
-			// must not clobber a newer value (sequence numbers are
-			// sender-global and monotone).
+			// must not clobber a newer value (sequence numbers are monotone
+			// within one sender session, and entries are per-sender).
 			if m.Seq >= e.lastSeq || created {
 				e.lastSeq = m.Seq
 				e.value = m.Value
-				e.peer = from
 			}
 			r.armTimeout(tc)
 			if m.Type == wire.TypeTrigger && r.cfg.Protocol.ReliableTrigger() {
-				r.send(wire.Message{Type: wire.TypeAck, Seq: m.Seq, Key: m.Key}, from)
+				r.ack(wire.TypeAck, m.Seq, m.Key, from)
 			}
 		})
 	case wire.TypeRemoval:
-		r.tbl.Update(m.Key, func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+		r.tbl.Update(rkey(from.String(), m.Key), func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
 			if m.Seq >= e.lastSeq {
-				r.drop(m.Key, e, tc, EventRemoved)
+				r.drop(e, tc, EventRemoved)
 			}
 		})
 		// ACK removals even for unknown keys: the state may have timed out
 		// while the sender kept retransmitting.
 		if r.cfg.Protocol.ReliableRemoval() {
-			r.send(wire.Message{Type: wire.TypeRemovalAck, Seq: m.Seq, Key: m.Key}, from)
+			r.ack(wire.TypeRemovalAck, m.Seq, m.Key, from)
 		}
 	case wire.TypeSummaryRefresh:
 		r.handleSummary(m, from)
@@ -169,20 +235,20 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 }
 
 // handleSummary bulk-renews the timeouts of every key a summary refresh
-// names and NACKs the ones this receiver does not hold, so the sender
-// falls back to full triggers for them.
+// names — for the sending peer only — and NACKs the ones this receiver
+// does not hold for that peer, so the sender falls back to full triggers.
 func (r *Receiver) handleSummary(m wire.Message, from net.Addr) {
+	addr := from.String()
 	var unknown []string
 	for _, key := range m.Keys {
-		known := r.tbl.Update(key, func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+		known := r.tbl.Update(rkey(addr, key), func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
 			// Same staleness guard as per-key refreshes: a delayed or
-			// replayed summary (its Seq is the sender-global counter at
-			// sweep time) must not rebind the peer address or renew state
-			// that a newer per-key message has since superseded.
+			// replayed summary (its Seq is the sender session's counter at
+			// sweep time) must not renew state that a newer per-key message
+			// has since superseded.
 			if m.Seq < e.lastSeq {
 				return
 			}
-			e.peer = from // track sender rebinds, like per-key refreshes do
 			r.armTimeout(tc)
 		})
 		if !known {
@@ -208,12 +274,12 @@ func (r *Receiver) armTimeout(tc statetable.TimerControl[receiverEntry]) {
 
 // onTimeout fires when a key's state-timeout expires; it runs on a shard
 // goroutine with the shard locked.
-func (r *Receiver) onTimeout(key string, _ statetable.TimerKind, e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+func (r *Receiver) onTimeout(_ string, _ statetable.TimerKind, e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
 	if r.closed.Load() {
 		return
 	}
-	peer := e.peer
-	r.drop(key, e, tc, EventExpired)
+	key, peer := e.key, e.peer
+	r.drop(e, tc, EventExpired)
 	// SS+RT and SS+RTR notify the sender of timeout removals so false
 	// removals are repaired promptly.
 	if r.cfg.Protocol.ReliableTrigger() && r.cfg.Protocol != HS {
@@ -223,10 +289,67 @@ func (r *Receiver) onTimeout(key string, _ statetable.TimerKind, e *receiverEntr
 
 // drop removes an entry and emits the given event; callers hold the
 // entry's shard lock via tc.
-func (r *Receiver) drop(key string, e *receiverEntry, tc statetable.TimerControl[receiverEntry], kind EventKind) {
-	value := e.value
+func (r *Receiver) drop(e *receiverEntry, tc statetable.TimerControl[receiverEntry], kind EventKind) {
+	key, value, peer := e.key, e.value, e.peer
 	tc.Delete()
-	r.emit(Event{Kind: kind, Key: key, Value: value})
+	r.emit(Event{Kind: kind, Key: key, Value: value, Peer: peer})
+}
+
+// ack queues (or, without coalescing, immediately sends) one
+// acknowledgement to to.
+func (r *Receiver) ack(kind wire.Type, seq uint64, key string, to net.Addr) {
+	if r.acks != nil {
+		r.acks.add(to, wire.AckItem{Kind: kind, Seq: seq, Key: key})
+		return
+	}
+	r.send(wire.Message{Type: kind, Seq: seq, Key: key}, to)
+}
+
+// flushLoop drains the ack batcher one AckFlushInterval after replies
+// start accumulating: one ack-batch datagram per peer per flush (more
+// only if a batch overflows the wire budget), mirroring summary refresh
+// on the reply path. While no acks are pending it sleeps on the kick
+// channel — an idle coalescing receiver costs zero wakeups.
+func (r *Receiver) flushLoop() {
+	defer r.flushWG.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		select {
+		case <-r.acks.kick:
+			timer.Reset(r.cfg.AckFlushInterval)
+			select {
+			case <-timer.C:
+				r.flushAcks()
+			case <-r.done:
+				r.flushAcks() // final drain; Close holds the transport open
+				return
+			}
+		case <-r.done:
+			r.flushAcks()
+			return
+		}
+	}
+}
+
+// flushAcks sends every pending coalesced acknowledgement.
+func (r *Receiver) flushAcks() {
+	for _, pa := range r.acks.take() {
+		items := pa.items
+		for len(items) > 0 {
+			n := wire.AckBatchFits(items)
+			if n == 0 {
+				break // unreachable (ACKed keys arrived in a datagram);
+				// abandons only this peer's batch, never the whole flush
+			}
+			r.send(wire.Message{Type: wire.TypeAckBatch, Acks: items[:n]}, pa.to)
+			r.ctrs.coalescedAcks.Add(int64(n))
+			items = items[n:]
+		}
+	}
 }
 
 // send encodes and transmits m to to.

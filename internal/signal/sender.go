@@ -2,14 +2,11 @@ package signal
 
 import (
 	"errors"
-	"fmt"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"softstate/internal/statetable"
-	"softstate/internal/wire"
 )
 
 // ErrClosed is returned by operations on a closed endpoint.
@@ -23,36 +20,16 @@ const (
 	timerTimeout statetable.TimerKind = 0
 )
 
-// Sender installs and maintains keyed state at a remote Receiver. Keys
-// live in a sharded state table whose timing wheels drive every refresh
-// and retransmission deadline — no per-key timers or goroutines, so one
-// Sender scales to millions of keys. All methods are safe for concurrent
-// use.
+// Sender installs and maintains keyed state at a single remote Receiver:
+// a one-peer instance of the multi-peer Sessions core (internal/node.Node
+// is the many-peer instance). Keys live in a sharded state table whose
+// timing wheels drive every refresh and retransmission deadline — no
+// per-key timers or goroutines, so one Sender scales to millions of keys.
+// All methods are safe for concurrent use.
 type Sender struct {
-	tp   transport
-	peer net.Addr
-	cfg  Config
-
-	tbl    *statetable.Table[senderEntry]
-	seq    atomic.Uint64
-	live   atomic.Int64 // keys installed and not being removed
-	ctrs   counters
-	closed atomic.Bool
-
-	events eventSink
-	done   chan struct{}
-	wg     sync.WaitGroup
-}
-
-// senderEntry tracks one key's signaling state at the sender.
-type senderEntry struct {
-	value    []byte
-	seq      uint64 // latest trigger sequence
-	ackedSeq uint64
-	retries  int
-
-	removing   bool // removal sent, awaiting removal-ack
-	removalSeq uint64
+	ss   *Sessions
+	sess *Session
+	wg   sync.WaitGroup
 }
 
 // NewSender creates a sender speaking cfg.Protocol to peer over conn and
@@ -61,394 +38,67 @@ func NewSender(conn net.PacketConn, peer net.Addr, cfg Config) (*Sender, error) 
 	if conn == nil || peer == nil {
 		return nil, errors.New("signal: nil conn or peer")
 	}
-	cfg = cfg.withDefaults()
-	s := &Sender{
-		tp:     transport{conn: conn},
-		peer:   peer,
-		cfg:    cfg,
-		events: eventSink{ch: make(chan Event, cfg.EventBuffer)},
-		done:   make(chan struct{}),
-	}
-	s.tbl = statetable.New(statetable.Config[senderEntry]{
-		Shards:   cfg.Shards,
-		OnExpire: s.onExpire,
-	})
+	s := &Sender{ss: NewSessions(conn, cfg)}
+	s.sess = s.ss.Session(peer)
 	s.wg.Add(1)
 	go s.readLoop()
-	if s.summaryMode() {
-		s.wg.Add(1)
-		go s.summaryLoop()
-	}
 	return s, nil
-}
-
-// summaryMode reports whether refreshes are batched into summaries.
-func (s *Sender) summaryMode() bool {
-	return s.cfg.SummaryRefresh && s.cfg.Protocol.Refreshes()
 }
 
 // Events exposes the observability stream. The channel closes when the
 // sender is closed.
-func (s *Sender) Events() <-chan Event { return s.events.ch }
+func (s *Sender) Events() <-chan Event { return s.ss.Events() }
 
 // Stats returns a snapshot of message counters.
-func (s *Sender) Stats() Stats { return s.ctrs.snapshot() }
+func (s *Sender) Stats() Stats { return s.ss.Stats() }
 
 // Install installs (or reinstalls) state for key at the receiver.
 func (s *Sender) Install(key string, value []byte) error {
-	return s.put(key, value, EventInstalled)
+	return s.sess.Install(key, value)
 }
 
 // Update changes the state value for key; it is an error to update a key
 // that was never installed or is being removed.
 func (s *Sender) Update(key string, value []byte) error {
-	known := false
-	s.tbl.Update(key, func(e *senderEntry, _ statetable.TimerControl[senderEntry]) {
-		known = !e.removing
-	})
-	if !known {
-		return fmt.Errorf("signal: update of unknown key %q", key)
-	}
-	return s.put(key, value, EventUpdated)
-}
-
-func (s *Sender) put(key string, value []byte, kind EventKind) error {
-	if len(key) > wire.MaxKeyLen || len(value) > wire.MaxValueLen {
-		return wire.ErrTooLarge
-	}
-	if s.closed.Load() {
-		return ErrClosed
-	}
-	v := make([]byte, len(value))
-	copy(v, value)
-	err := error(nil)
-	s.tbl.Upsert(key, func(e *senderEntry, created bool, tc statetable.TimerControl[senderEntry]) {
-		// Re-check under the shard lock: Close may have completed since
-		// the fast-path check above, and a success return here would claim
-		// an install that no timer will ever maintain. A just-created entry
-		// is deleted again so the table and the live counter stay in step.
-		if s.closed.Load() {
-			if created {
-				tc.Delete()
-			}
-			err = ErrClosed
-			return
-		}
-		if created || e.removing {
-			s.live.Add(1)
-		}
-		e.value = v
-		e.removing = false
-		e.retries = 0
-		e.seq = s.seq.Add(1)
-		s.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
-		s.armTriggerRetx(tc)
-		s.armRefresh(tc)
-		s.emit(Event{Kind: kind, Key: key, Value: e.value, Seq: e.seq})
-	})
-	return err
+	return s.sess.Update(key, value)
 }
 
 // Remove withdraws the state for key. With explicit-removal protocols a
 // removal message is sent (reliably for SS+RTR and HS); otherwise the
 // receiver is left to time the state out.
-func (s *Sender) Remove(key string) error {
-	if s.closed.Load() {
-		return ErrClosed
-	}
-	known := false
-	err := error(nil)
-	s.tbl.Update(key, func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
-		if e.removing {
-			return
-		}
-		known = true
-		if s.closed.Load() { // Close completed since the fast-path check
-			err = ErrClosed
-			return
-		}
-		s.live.Add(-1)
-		tc.Cancel(timerRefresh)
-		tc.Cancel(timerRetx)
-		if !s.cfg.Protocol.ExplicitRemoval() {
-			tc.Delete()
-			s.emit(Event{Kind: EventRemoved, Key: key})
-			return
-		}
-		e.removing = true
-		e.removalSeq = s.seq.Add(1)
-		e.retries = 0
-		e.value = nil
-		s.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key})
-		if s.cfg.Protocol.ReliableRemoval() {
-			tc.Schedule(timerRetx, s.cfg.Retransmit)
-		} else {
-			tc.Delete()
-			s.emit(Event{Kind: EventRemoved, Key: key})
-		}
-	})
-	if !known {
-		return fmt.Errorf("signal: remove of unknown key %q", key)
-	}
-	return err
-}
+func (s *Sender) Remove(key string) error { return s.sess.Remove(key) }
 
 // Keys returns the keys with live (non-removing) state.
-func (s *Sender) Keys() []string {
-	out := make([]string, 0, s.live.Load())
-	s.tbl.Range(func(key string, e *senderEntry) bool {
-		if !e.removing {
-			out = append(out, key)
-		}
-		return true
-	})
-	return out
-}
+func (s *Sender) Keys() []string { return s.sess.Keys() }
 
 // Close stops all timers, closes the transport, and waits for the receive
 // loop to drain. The events channel is closed afterwards.
 func (s *Sender) Close() error {
-	if s.closed.Swap(true) {
-		return nil
-	}
-	close(s.done)
-	s.tbl.Close() // no expiry callback runs past this point
-	err := s.tp.close()
+	err := s.ss.Shutdown()
 	s.wg.Wait()
-	s.events.close()
+	s.ss.CloseEvents()
 	return err
 }
 
-// --- timers (fired by the state table's wheel goroutines) ---
-
-// armRefresh schedules the next per-key refresh; in summary mode the
-// summary loop carries refreshes instead, so no per-key deadline exists.
-func (s *Sender) armRefresh(tc statetable.TimerControl[senderEntry]) {
-	if !s.cfg.Protocol.Refreshes() || s.summaryMode() {
-		return
-	}
-	tc.Schedule(timerRefresh, s.refreshInterval())
-}
-
-func (s *Sender) armTriggerRetx(tc statetable.TimerControl[senderEntry]) {
-	if !s.cfg.Protocol.ReliableTrigger() {
-		tc.Cancel(timerRetx) // a reinstall may race a pending removal retx
-		return
-	}
-	tc.Schedule(timerRetx, s.cfg.Retransmit)
-}
-
-// refreshInterval returns the per-key refresh interval, stretched when an
-// aggregate rate bound is configured (scalable timers): with n live keys
-// the aggregate rate is n/interval, so the interval grows to
-// n/MaxRefreshRate once n exceeds MaxRefreshRate·R. The live count is a
-// single atomic read, not a table scan.
-func (s *Sender) refreshInterval() time.Duration {
-	interval := s.cfg.RefreshInterval
-	if s.cfg.MaxRefreshRate <= 0 {
-		return interval
-	}
-	if min := time.Duration(float64(s.live.Load()) / s.cfg.MaxRefreshRate * float64(time.Second)); min > interval {
-		interval = min
-	}
-	return interval
-}
-
-// onExpire dispatches wheel deadlines; it runs on a shard goroutine with
-// the shard locked.
-func (s *Sender) onExpire(key string, kind statetable.TimerKind, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
-	if s.closed.Load() {
-		return
-	}
-	switch kind {
-	case timerRefresh:
-		if e.removing {
-			return
-		}
-		s.send(wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: key, Value: e.value})
-		s.armRefresh(tc)
-	case timerRetx:
-		if e.removing {
-			s.removalRetx(key, e, tc)
-		} else {
-			s.triggerRetx(key, e, tc)
-		}
-	}
-}
-
-func (s *Sender) triggerRetx(key string, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
-	if e.ackedSeq >= e.seq {
-		return
-	}
-	if s.cfg.MaxRetransmits > 0 && e.retries >= s.cfg.MaxRetransmits {
-		s.emit(Event{Kind: EventGaveUp, Key: key, Seq: e.seq})
-		return
-	}
-	e.retries++
-	s.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
-	tc.Schedule(timerRetx, s.cfg.Retransmit)
-}
-
-func (s *Sender) removalRetx(key string, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
-	if s.cfg.MaxRetransmits > 0 && e.retries >= s.cfg.MaxRetransmits {
-		seq := e.removalSeq
-		tc.Delete()
-		s.emit(Event{Kind: EventGaveUp, Key: key, Seq: seq})
-		return
-	}
-	e.retries++
-	s.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key})
-	tc.Schedule(timerRetx, s.cfg.Retransmit)
-}
-
-// --- summary refresh (RFC 2961-style refresh reduction) ---
-
-// summaryLoop periodically renews every live key with batched summary
-// datagrams instead of one refresh per key.
-func (s *Sender) summaryLoop() {
-	defer s.wg.Done()
-	timer := time.NewTimer(s.summaryInterval())
-	defer timer.Stop()
-	for {
-		select {
-		case <-timer.C:
-			s.summarySweep()
-			timer.Reset(s.summaryInterval())
-		case <-s.done:
-			return
-		}
-	}
-}
-
-// summaryInterval is the sweep period: the refresh interval R, stretched
-// so the aggregate summary-datagram rate (⌈n/SummaryMaxKeys⌉ per sweep)
-// stays under MaxRefreshRate when one is configured.
-func (s *Sender) summaryInterval() time.Duration {
-	interval := s.cfg.RefreshInterval
-	if s.cfg.MaxRefreshRate <= 0 {
-		return interval
-	}
-	datagrams := (float64(s.live.Load()) + float64(s.cfg.SummaryMaxKeys) - 1) / float64(s.cfg.SummaryMaxKeys)
-	if min := time.Duration(datagrams / s.cfg.MaxRefreshRate * float64(time.Second)); min > interval {
-		interval = min
-	}
-	return interval
-}
-
-// summarySweep sends one round of summary refreshes covering every live
-// key and returns the number of datagrams it took.
-func (s *Sender) summarySweep() int {
-	keys := make([]string, 0, s.live.Load())
-	s.tbl.Range(func(key string, e *senderEntry) bool {
-		if !e.removing {
-			keys = append(keys, key)
-		}
-		return true
-	})
-	sent := 0
-	for len(keys) > 0 {
-		n := wire.SummaryFits(keys)
-		if n > s.cfg.SummaryMaxKeys {
-			n = s.cfg.SummaryMaxKeys
-		}
-		if n == 0 {
-			break // unreachable: every installed key fits a datagram
-		}
-		s.send(wire.Message{Type: wire.TypeSummaryRefresh, Seq: s.seq.Load(), Keys: keys[:n]})
-		keys = keys[n:]
-		sent++
-	}
-	return sent
-}
-
-// --- inbound ---
-
+// readLoop drains inbound replies. A single-peer sender keeps the
+// original endpoint behavior and routes every datagram to its one
+// session, whatever the source address claims.
 func (s *Sender) readLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, 64*1024)
 	for {
-		n, _, err := s.tp.conn.ReadFrom(buf)
-		if err != nil {
+		m, _, ok := s.ss.Recv(buf)
+		if !ok {
 			return
 		}
-		var m wire.Message
-		if derr := m.UnmarshalBinary(buf[:n]); derr != nil {
-			s.ctrs.decodeErrors.Add(1)
-			continue
-		}
-		s.handle(m)
+		s.sess.Handle(m)
 	}
 }
 
-func (s *Sender) handle(m wire.Message) {
-	if s.closed.Load() {
-		return
-	}
-	s.ctrs.received[m.Type].Add(1)
-	switch m.Type {
-	case wire.TypeAck:
-		s.tbl.Update(m.Key, func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
-			if e.removing {
-				return
-			}
-			if m.Seq > e.ackedSeq {
-				e.ackedSeq = m.Seq
-			}
-			if e.ackedSeq >= e.seq {
-				tc.Cancel(timerRetx)
-				e.retries = 0
-				s.emit(Event{Kind: EventAcked, Key: m.Key, Seq: e.seq})
-			}
-		})
-	case wire.TypeRemovalAck:
-		s.tbl.Update(m.Key, func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
-			if !e.removing || m.Seq < e.removalSeq {
-				return
-			}
-			tc.Cancel(timerRetx)
-			tc.Delete()
-			s.emit(Event{Kind: EventRemoved, Key: m.Key})
-		})
-	case wire.TypeNotify:
-		// The receiver dropped our state (timeout or false signal);
-		// repair by re-triggering if we still own the key.
-		s.retrigger(m.Key)
-	case wire.TypeSummaryNack:
-		// The receiver does not hold these keys: fall back from summary
-		// refresh to full triggers for each.
-		for _, key := range m.Keys {
-			s.retrigger(key)
-		}
-	}
-}
-
-// retrigger re-installs key at the receiver with a fresh sequence number.
-func (s *Sender) retrigger(key string) {
-	s.tbl.Update(key, func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
-		if e.removing {
-			return
-		}
-		e.seq = s.seq.Add(1)
-		e.retries = 0
-		s.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value})
-		s.armTriggerRetx(tc)
-		s.armRefresh(tc)
-		s.emit(Event{Kind: EventRepaired, Key: key, Seq: e.seq})
-	})
-}
-
-// send encodes and transmits m to the peer.
-func (s *Sender) send(m wire.Message) {
-	data, err := m.Append(nil)
-	if err != nil {
-		return
-	}
-	if s.tp.write(data, s.peer) {
-		s.ctrs.sent[m.Type].Add(1)
-	}
-}
-
-func (s *Sender) emit(ev Event) { s.events.emit(ev) }
+// summarySweep and summaryInterval are exercised directly by tests and
+// benchmarks.
+func (s *Sender) summarySweep() int              { return s.ss.summarySweep() }
+func (s *Sender) summaryInterval() time.Duration { return s.ss.summaryInterval() }
 
 func isNetTemporary(err error) bool {
 	var ne net.Error

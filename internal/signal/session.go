@@ -1,0 +1,596 @@
+package signal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"softstate/internal/statetable"
+	"softstate/internal/wire"
+)
+
+// Sessions is the multi-peer sender core extracted from Sender: the
+// signaling state for every (peer, key) pair lives in one shared sharded
+// statetable (so timer goroutines and lock domains scale with the shard
+// count, not the peer count), while each peer gets its own Session handle
+// carrying its sequence space, live-key counter, and summary-refresh
+// batches. One summary sweeper renews all peers, one datagram batch per
+// peer per sweep.
+//
+// Sender wraps a Sessions with exactly one peer; internal/node builds the
+// multi-peer Node (and relay chains) on the same core by demultiplexing
+// one net.PacketConn across many Sessions.
+type Sessions struct {
+	cfg Config
+	tp  transport
+
+	tbl    *statetable.Table[senderEntry]
+	live   atomic.Int64 // live keys across all sessions
+	ctrs   counters
+	closed atomic.Bool
+
+	events eventSink
+	done   chan struct{}
+	wg     sync.WaitGroup // summary sweeper
+
+	nextID atomic.Uint32
+	peers  [peerShardCount]peerShard
+}
+
+// peerShardCount shards the peer-address table so high-rate demux lookups
+// do not serialize on one lock.
+const peerShardCount = 16
+
+// peerShard is one lock domain of the per-destination peer table.
+type peerShard struct {
+	mu sync.RWMutex
+	m  map[string]*Session
+}
+
+// Session is one peer's sender session: its address, its private sequence
+// space, and its live-key count. All per-key state (refresh, retransmit,
+// removal timers) lives in the owning Sessions' shared table under keys
+// prefixed with this session's id. All methods are safe for concurrent
+// use.
+type Session struct {
+	ss   *Sessions
+	id   uint32
+	peer net.Addr
+	seq  atomic.Uint64
+	live atomic.Int64
+}
+
+// senderEntry tracks one (peer, key)'s signaling state at the sender.
+type senderEntry struct {
+	sess     *Session
+	value    []byte
+	seq      uint64 // latest trigger sequence (session-scoped)
+	ackedSeq uint64
+	retries  int
+
+	removing   bool // removal sent, awaiting removal-ack
+	removalSeq uint64
+}
+
+// sessionKey prefixes key with the owning session's 4-byte id, giving
+// every (peer, key) pair its own slot — and its own timers — in the
+// shared table.
+func sessionKey(id uint32, key string) string {
+	var p [4]byte
+	binary.BigEndian.PutUint32(p[:], id)
+	return string(p[:]) + key
+}
+
+// userKey strips the session-id prefix from a composite table key.
+func userKey(ck string) string { return ck[4:] }
+
+// NewSessions creates the sender core over conn and starts its timers
+// (and, in summary mode, its sweeper). The caller owns the read loop:
+// drain with Recv and route each message to a Session. Call Shutdown,
+// then CloseEvents once the read loop has drained.
+func NewSessions(conn net.PacketConn, cfg Config) *Sessions {
+	cfg = cfg.withDefaults()
+	ss := &Sessions{
+		cfg:    cfg,
+		tp:     transport{conn: conn},
+		events: eventSink{ch: make(chan Event, cfg.EventBuffer), fn: cfg.OnEvent},
+		done:   make(chan struct{}),
+	}
+	ss.tbl = statetable.New(statetable.Config[senderEntry]{
+		Shards:   cfg.Shards,
+		OnExpire: ss.onExpire,
+	})
+	for i := range ss.peers {
+		ss.peers[i].m = make(map[string]*Session)
+	}
+	if ss.summaryMode() {
+		ss.wg.Add(1)
+		go ss.summaryLoop()
+	}
+	return ss
+}
+
+// summaryMode reports whether refreshes are batched into summaries.
+func (ss *Sessions) summaryMode() bool {
+	return ss.cfg.SummaryRefresh && ss.cfg.Protocol.Refreshes()
+}
+
+// peerShardOf picks the peer-table shard for an address string.
+func (ss *Sessions) peerShardOf(addr string) *peerShard {
+	return &ss.peers[statetable.Hash32(addr)%peerShardCount]
+}
+
+// Session returns the session for peer, creating it on first use. Peers
+// are identified by their address string, so the same address always maps
+// to the same session.
+func (ss *Sessions) Session(peer net.Addr) *Session {
+	addr := peer.String()
+	sh := ss.peerShardOf(addr)
+	sh.mu.RLock()
+	s := sh.m[addr]
+	sh.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s = sh.m[addr]; s != nil {
+		return s
+	}
+	s = &Session{ss: ss, id: ss.nextID.Add(1), peer: peer}
+	sh.m[addr] = s
+	return s
+}
+
+// Lookup returns the existing session for a source address, if any —
+// the demultiplexing step of a multi-peer read loop.
+func (ss *Sessions) Lookup(from net.Addr) (*Session, bool) {
+	addr := from.String() // formatted once: this runs per inbound datagram
+	sh := ss.peerShardOf(addr)
+	sh.mu.RLock()
+	s, ok := sh.m[addr]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// Peers returns all sessions in no particular order.
+func (ss *Sessions) Peers() []*Session {
+	var out []*Session
+	for i := range ss.peers {
+		sh := &ss.peers[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// Events exposes the observability stream shared by all sessions. The
+// channel closes after CloseEvents.
+func (ss *Sessions) Events() <-chan Event { return ss.events.ch }
+
+// Stats returns a snapshot of message counters across all sessions.
+func (ss *Sessions) Stats() Stats { return ss.ctrs.snapshot() }
+
+// Live returns the number of live (non-removing) keys across all
+// sessions.
+func (ss *Sessions) Live() int { return int(ss.live.Load()) }
+
+// Recv reads and decodes the next datagram, counting undecodable ones.
+// ok is false once the transport is closed.
+func (ss *Sessions) Recv(buf []byte) (m wire.Message, from net.Addr, ok bool) {
+	for {
+		n, from, err := ss.tp.conn.ReadFrom(buf)
+		if err != nil {
+			return wire.Message{}, nil, false
+		}
+		if derr := m.UnmarshalBinary(buf[:n]); derr != nil {
+			ss.ctrs.decodeErrors.Add(1)
+			continue
+		}
+		return m, from, true
+	}
+}
+
+// Shutdown stops all timers and the sweeper and closes the transport,
+// unblocking any read loop pending in Recv. Idempotent.
+func (ss *Sessions) Shutdown() error {
+	if ss.closed.Swap(true) {
+		return nil
+	}
+	close(ss.done)
+	ss.tbl.Close() // no expiry callback runs past this point
+	err := ss.tp.close()
+	ss.wg.Wait()
+	return err
+}
+
+// CloseEvents closes the events channel; call only after every goroutine
+// that routes messages into sessions has drained.
+func (ss *Sessions) CloseEvents() { ss.events.close() }
+
+// send encodes and transmits m to to.
+func (ss *Sessions) send(m wire.Message, to net.Addr) {
+	data, err := m.Append(nil)
+	if err != nil {
+		return
+	}
+	if ss.tp.write(data, to) {
+		ss.ctrs.sent[m.Type].Add(1)
+	}
+}
+
+func (ss *Sessions) emit(ev Event) { ss.events.emit(ev) }
+
+// --- per-session operations ---
+
+// Peer returns the session's peer address.
+func (s *Session) Peer() net.Addr { return s.peer }
+
+// Live returns the session's live (non-removing) key count.
+func (s *Session) Live() int { return int(s.live.Load()) }
+
+// key builds the session-scoped table key for a user key.
+func (s *Session) key(key string) string { return sessionKey(s.id, key) }
+
+// Install installs (or reinstalls) state for key at this peer.
+func (s *Session) Install(key string, value []byte) error {
+	return s.put(key, value, EventInstalled)
+}
+
+// Update changes the state value for key; it is an error to update a key
+// that was never installed at this peer or is being removed.
+func (s *Session) Update(key string, value []byte) error {
+	known := false
+	s.ss.tbl.Update(s.key(key), func(e *senderEntry, _ statetable.TimerControl[senderEntry]) {
+		known = !e.removing
+	})
+	if !known {
+		return fmt.Errorf("signal: update of unknown key %q", key)
+	}
+	return s.put(key, value, EventUpdated)
+}
+
+func (s *Session) put(key string, value []byte, kind EventKind) error {
+	if len(key) > wire.MaxKeyLen || len(value) > wire.MaxValueLen {
+		return wire.ErrTooLarge
+	}
+	ss := s.ss
+	if ss.closed.Load() {
+		return ErrClosed
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	err := error(nil)
+	ss.tbl.Upsert(s.key(key), func(e *senderEntry, created bool, tc statetable.TimerControl[senderEntry]) {
+		// Re-check under the shard lock: Shutdown may have completed since
+		// the fast-path check above, and a success return here would claim
+		// an install that no timer will ever maintain. A just-created entry
+		// is deleted again so the table and the live counters stay in step.
+		if ss.closed.Load() {
+			if created {
+				tc.Delete()
+			}
+			err = ErrClosed
+			return
+		}
+		if created || e.removing {
+			s.live.Add(1)
+			ss.live.Add(1)
+		}
+		e.sess = s
+		e.value = v
+		e.removing = false
+		e.retries = 0
+		e.seq = s.seq.Add(1)
+		ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, s.peer)
+		ss.armTriggerRetx(tc)
+		ss.armRefresh(tc)
+		ss.emit(Event{Kind: kind, Key: key, Value: e.value, Seq: e.seq, Peer: s.peer})
+	})
+	return err
+}
+
+// Remove withdraws the state for key at this peer. With explicit-removal
+// protocols a removal message is sent (reliably for SS+RTR and HS);
+// otherwise the receiver is left to time the state out.
+func (s *Session) Remove(key string) error {
+	ss := s.ss
+	if ss.closed.Load() {
+		return ErrClosed
+	}
+	known := false
+	err := error(nil)
+	ss.tbl.Update(s.key(key), func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+		if e.removing {
+			return
+		}
+		known = true
+		if ss.closed.Load() { // Shutdown completed since the fast-path check
+			err = ErrClosed
+			return
+		}
+		s.live.Add(-1)
+		ss.live.Add(-1)
+		tc.Cancel(timerRefresh)
+		tc.Cancel(timerRetx)
+		if !ss.cfg.Protocol.ExplicitRemoval() {
+			tc.Delete()
+			ss.emit(Event{Kind: EventRemoved, Key: key, Peer: s.peer})
+			return
+		}
+		e.removing = true
+		e.removalSeq = s.seq.Add(1)
+		e.retries = 0
+		e.value = nil
+		ss.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key}, s.peer)
+		if ss.cfg.Protocol.ReliableRemoval() {
+			tc.Schedule(timerRetx, ss.cfg.Retransmit)
+		} else {
+			tc.Delete()
+			ss.emit(Event{Kind: EventRemoved, Key: key, Peer: s.peer})
+		}
+	})
+	if !known {
+		return fmt.Errorf("signal: remove of unknown key %q", key)
+	}
+	return err
+}
+
+// Keys returns the keys with live (non-removing) state at this peer. It
+// scans the whole shared table (cost is O(total keys across all
+// sessions), one shard lock at a time) — fine for CLIs and tests, not
+// for hot paths on a large node; Live is the O(1) count.
+func (s *Session) Keys() []string {
+	out := make([]string, 0, s.live.Load())
+	s.ss.tbl.Range(func(ck string, e *senderEntry) bool {
+		if e.sess == s && !e.removing {
+			out = append(out, userKey(ck))
+		}
+		return true
+	})
+	return out
+}
+
+// --- timers (fired by the shared table's wheel goroutines) ---
+
+// armRefresh schedules the next per-key refresh; in summary mode the
+// sweeper carries refreshes instead, so no per-key deadline exists.
+func (ss *Sessions) armRefresh(tc statetable.TimerControl[senderEntry]) {
+	if !ss.cfg.Protocol.Refreshes() || ss.summaryMode() {
+		return
+	}
+	tc.Schedule(timerRefresh, ss.refreshInterval())
+}
+
+func (ss *Sessions) armTriggerRetx(tc statetable.TimerControl[senderEntry]) {
+	if !ss.cfg.Protocol.ReliableTrigger() {
+		tc.Cancel(timerRetx) // a reinstall may race a pending removal retx
+		return
+	}
+	tc.Schedule(timerRetx, ss.cfg.Retransmit)
+}
+
+// refreshInterval returns the per-key refresh interval, stretched when an
+// aggregate rate bound is configured (scalable timers): with n live keys
+// across all peers the aggregate rate is n/interval, so the interval
+// grows to n/MaxRefreshRate once n exceeds MaxRefreshRate·R. The live
+// count is a single atomic read, not a table scan.
+func (ss *Sessions) refreshInterval() time.Duration {
+	interval := ss.cfg.RefreshInterval
+	if ss.cfg.MaxRefreshRate <= 0 {
+		return interval
+	}
+	if min := time.Duration(float64(ss.live.Load()) / ss.cfg.MaxRefreshRate * float64(time.Second)); min > interval {
+		interval = min
+	}
+	return interval
+}
+
+// onExpire dispatches wheel deadlines; it runs on a shard goroutine with
+// the shard locked.
+func (ss *Sessions) onExpire(ck string, kind statetable.TimerKind, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+	if ss.closed.Load() {
+		return
+	}
+	key := userKey(ck)
+	switch kind {
+	case timerRefresh:
+		if e.removing {
+			return
+		}
+		ss.send(wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: key, Value: e.value}, e.sess.peer)
+		ss.armRefresh(tc)
+	case timerRetx:
+		if e.removing {
+			ss.removalRetx(key, e, tc)
+		} else {
+			ss.triggerRetx(key, e, tc)
+		}
+	}
+}
+
+func (ss *Sessions) triggerRetx(key string, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+	if e.ackedSeq >= e.seq {
+		return
+	}
+	if ss.cfg.MaxRetransmits > 0 && e.retries >= ss.cfg.MaxRetransmits {
+		ss.emit(Event{Kind: EventGaveUp, Key: key, Seq: e.seq, Peer: e.sess.peer})
+		return
+	}
+	e.retries++
+	ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, e.sess.peer)
+	tc.Schedule(timerRetx, ss.cfg.Retransmit)
+}
+
+func (ss *Sessions) removalRetx(key string, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+	if ss.cfg.MaxRetransmits > 0 && e.retries >= ss.cfg.MaxRetransmits {
+		seq := e.removalSeq
+		peer := e.sess.peer
+		tc.Delete()
+		ss.emit(Event{Kind: EventGaveUp, Key: key, Seq: seq, Peer: peer})
+		return
+	}
+	e.retries++
+	ss.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key}, e.sess.peer)
+	tc.Schedule(timerRetx, ss.cfg.Retransmit)
+}
+
+// --- summary refresh (RFC 2961-style refresh reduction) ---
+
+// summaryLoop periodically renews every live key of every session with
+// batched summary datagrams instead of one refresh per key.
+func (ss *Sessions) summaryLoop() {
+	defer ss.wg.Done()
+	timer := time.NewTimer(ss.summaryInterval())
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			ss.summarySweep()
+			timer.Reset(ss.summaryInterval())
+		case <-ss.done:
+			return
+		}
+	}
+}
+
+// summaryInterval is the sweep period: the refresh interval R, stretched
+// so the aggregate summary-datagram rate (at least ⌈n/SummaryMaxKeys⌉ per
+// sweep for n live keys) stays under MaxRefreshRate when one is
+// configured.
+func (ss *Sessions) summaryInterval() time.Duration {
+	interval := ss.cfg.RefreshInterval
+	if ss.cfg.MaxRefreshRate <= 0 {
+		return interval
+	}
+	datagrams := (float64(ss.live.Load()) + float64(ss.cfg.SummaryMaxKeys) - 1) / float64(ss.cfg.SummaryMaxKeys)
+	if min := time.Duration(datagrams / ss.cfg.MaxRefreshRate * float64(time.Second)); min > interval {
+		interval = min
+	}
+	return interval
+}
+
+// SummarySweep sends one round of summary refreshes covering every live
+// key of every session — one batch stream per peer — and returns the
+// number of datagrams it took. The sweeper calls it every refresh
+// interval; benchmarks and drivers may call it directly.
+func (ss *Sessions) SummarySweep() int { return ss.summarySweep() }
+
+// summarySweep implements SummarySweep.
+func (ss *Sessions) summarySweep() int {
+	per := make(map[*Session][]string)
+	ss.tbl.Range(func(ck string, e *senderEntry) bool {
+		if !e.removing {
+			per[e.sess] = append(per[e.sess], userKey(ck))
+		}
+		return true
+	})
+	sent := 0
+	for sess, keys := range per {
+		for len(keys) > 0 {
+			n := wire.SummaryFits(keys)
+			if n > ss.cfg.SummaryMaxKeys {
+				n = ss.cfg.SummaryMaxKeys
+			}
+			if n == 0 {
+				break // unreachable: every installed key fits a datagram
+			}
+			ss.send(wire.Message{Type: wire.TypeSummaryRefresh, Seq: sess.seq.Load(), Keys: keys[:n]}, sess.peer)
+			keys = keys[n:]
+			sent++
+		}
+	}
+	return sent
+}
+
+// --- inbound ---
+
+// Handle processes one inbound message addressed to this session (ACKs,
+// removal-ACKs, notifications, summary NACKs, and coalesced ack batches).
+// Multi-peer read loops route each datagram here after Lookup on its
+// source address.
+func (s *Session) Handle(m wire.Message) {
+	ss := s.ss
+	if ss.closed.Load() {
+		return
+	}
+	ss.ctrs.received[m.Type].Add(1)
+	switch m.Type {
+	case wire.TypeAck:
+		s.handleAck(m.Seq, m.Key)
+	case wire.TypeRemovalAck:
+		s.handleRemovalAck(m.Seq, m.Key)
+	case wire.TypeAckBatch:
+		// Coalesced replies: unpack and dispatch each item.
+		ss.ctrs.coalescedAcks.Add(int64(len(m.Acks)))
+		for i := range m.Acks {
+			switch m.Acks[i].Kind {
+			case wire.TypeAck:
+				s.handleAck(m.Acks[i].Seq, m.Acks[i].Key)
+			case wire.TypeRemovalAck:
+				s.handleRemovalAck(m.Acks[i].Seq, m.Acks[i].Key)
+			}
+		}
+	case wire.TypeNotify:
+		// The receiver dropped our state (timeout or false signal);
+		// repair by re-triggering if we still own the key.
+		s.retrigger(m.Key)
+	case wire.TypeSummaryNack:
+		// The receiver does not hold these keys: fall back from summary
+		// refresh to full triggers for each.
+		for _, key := range m.Keys {
+			s.retrigger(key)
+		}
+	}
+}
+
+func (s *Session) handleAck(seq uint64, key string) {
+	ss := s.ss
+	ss.tbl.Update(s.key(key), func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+		if e.removing {
+			return
+		}
+		if seq > e.ackedSeq {
+			e.ackedSeq = seq
+		}
+		if e.ackedSeq >= e.seq {
+			tc.Cancel(timerRetx)
+			e.retries = 0
+			ss.emit(Event{Kind: EventAcked, Key: key, Seq: e.seq, Peer: s.peer})
+		}
+	})
+}
+
+func (s *Session) handleRemovalAck(seq uint64, key string) {
+	ss := s.ss
+	ss.tbl.Update(s.key(key), func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+		if !e.removing || seq < e.removalSeq {
+			return
+		}
+		tc.Cancel(timerRetx)
+		tc.Delete()
+		ss.emit(Event{Kind: EventRemoved, Key: key, Peer: s.peer})
+	})
+}
+
+// retrigger re-installs key at the peer with a fresh sequence number.
+func (s *Session) retrigger(key string) {
+	ss := s.ss
+	ss.tbl.Update(s.key(key), func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
+		if e.removing {
+			return
+		}
+		e.seq = s.seq.Add(1)
+		e.retries = 0
+		ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, s.peer)
+		ss.armTriggerRetx(tc)
+		ss.armRefresh(tc)
+		ss.emit(Event{Kind: EventRepaired, Key: key, Seq: e.seq, Peer: s.peer})
+	})
+}

@@ -21,6 +21,7 @@
 package signal
 
 import (
+	"net"
 	"sync/atomic"
 	"time"
 
@@ -78,6 +79,23 @@ type Config struct {
 	// SummaryMaxKeys caps the keys per summary datagram (default 64,
 	// bounded by wire.MaxSummaryKeys and the datagram byte budget).
 	SummaryMaxKeys int
+	// CoalesceAcks, on a receiver, batches ACK and removal-ACK replies
+	// into one ack-batch datagram per peer per flush tick instead of one
+	// datagram per acknowledgement — the reply-path mirror of summary
+	// refresh. Senders always accept ack batches regardless of this
+	// setting.
+	CoalesceAcks bool
+	// AckFlushInterval is the coalescing flush period (default 2 ms, two
+	// state-table ticks). Keep it well under Retransmit, or held-back acks
+	// will trigger spurious retransmissions.
+	AckFlushInterval time.Duration
+	// OnEvent, when set, is called synchronously for every event before
+	// it is offered to the Events channel — unlike the channel, it never
+	// drops. It runs on protocol goroutines, sometimes with a state-table
+	// shard locked: it must not block and must not call back into the
+	// endpoint that emitted it (calling into *other* endpoints, as a
+	// relay does, is fine).
+	OnEvent func(Event)
 }
 
 // DefaultConfig returns the paper's deployed-protocol defaults: R = 5 s,
@@ -111,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SummaryMaxKeys > wire.MaxSummaryKeys {
 		c.SummaryMaxKeys = wire.MaxSummaryKeys
+	}
+	if c.AckFlushInterval <= 0 {
+		c.AckFlushInterval = 2 * time.Millisecond
 	}
 	return c
 }
@@ -170,6 +191,11 @@ type Event struct {
 	Key   string
 	Value []byte
 	Seq   uint64
+	// Peer is the remote endpoint the event concerns: the session peer on
+	// a sender, the datagram source on a receiver. May be nil for events
+	// without a peer (e.g. receiver expiry of state whose sender address
+	// was never learned).
+	Peer net.Addr
 }
 
 // Stats counts runtime message activity.
@@ -180,6 +206,11 @@ type Stats struct {
 	Received map[string]int
 	// DecodeErrors counts datagrams rejected by the codec.
 	DecodeErrors int
+	// CoalescedAcks counts individual acknowledgements carried inside
+	// ack-batch datagrams: items batched on a coalescing receiver, items
+	// unpacked on a sender. Compare with Sent["ack-batch"] (or
+	// Received["ack-batch"]) for the reply-datagram reduction.
+	CoalescedAcks int
 }
 
 // TotalSent sums sent datagrams across types.
@@ -195,9 +226,10 @@ func (s Stats) TotalSent() int {
 // slot per wire type, indexed by the type value, so shards never share a
 // stats lock.
 type counters struct {
-	sent         [wire.NumTypes]atomic.Int64
-	received     [wire.NumTypes]atomic.Int64
-	decodeErrors atomic.Int64
+	sent          [wire.NumTypes]atomic.Int64
+	received      [wire.NumTypes]atomic.Int64
+	decodeErrors  atomic.Int64
+	coalescedAcks atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -211,5 +243,6 @@ func (c *counters) snapshot() Stats {
 		}
 	}
 	out.DecodeErrors = int(c.decodeErrors.Load())
+	out.CoalescedAcks = int(c.coalescedAcks.Load())
 	return out
 }

@@ -341,13 +341,13 @@ func TestCloseRacesActiveSends(t *testing.T) {
 		snd.Close()
 		wg.Wait()
 		liveKeys := 0
-		snd.tbl.Range(func(_ string, e *senderEntry) bool {
+		snd.ss.tbl.Range(func(_ string, e *senderEntry) bool {
 			if !e.removing {
 				liveKeys++
 			}
 			return true
 		})
-		if got := snd.live.Load(); int(got) != liveKeys {
+		if got := snd.ss.live.Load(); int(got) != liveKeys {
 			t.Fatalf("live counter %d != %d non-removing table entries after close race", got, liveKeys)
 		}
 		b.Close()

@@ -119,7 +119,9 @@ func TestSummaryNackRepairsUnknownKey(t *testing.T) {
 	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
 	// Tear the state down at the receiver only: expiry is silent for SS
 	// (no notify), so only the summary NACK path can repair it.
-	rcv.tbl.Delete("k")
+	for _, ck := range rcv.matches("k") {
+		rcv.tbl.Delete(ck)
+	}
 	if _, ok := rcv.Get("k"); ok {
 		t.Fatal("test setup: key still installed")
 	}

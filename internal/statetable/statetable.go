@@ -135,8 +135,10 @@ func (t *Table[V]) Close() {
 	t.wg.Wait()
 }
 
-// fnv32a is the allocation-free FNV-1a hash used to pick a shard.
-func fnv32a(s string) uint32 {
+// Hash32 is the allocation-free FNV-1a hash used to pick a shard; other
+// sharded structures in the runtime (e.g. the per-destination peer table
+// in internal/signal) reuse it so the repo has one string hash.
+func Hash32(s string) uint32 {
 	h := uint32(2166136261)
 	for i := 0; i < len(s); i++ {
 		h ^= uint32(s[i])
@@ -146,7 +148,7 @@ func fnv32a(s string) uint32 {
 }
 
 func (t *Table[V]) shardOf(key string) *shard[V] {
-	return &t.shards[fnv32a(key)&t.mask]
+	return &t.shards[Hash32(key)&t.mask]
 }
 
 // tickNow converts wall-clock progress to wheel ticks.

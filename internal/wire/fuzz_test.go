@@ -23,6 +23,11 @@ func FuzzDecode(f *testing.F) {
 		{Type: TypeNotify, Seq: 6, Key: "k"},
 		{Type: TypeSummaryRefresh, Seq: 7, Keys: []string{"a", "bb", "ccc"}},
 		{Type: TypeSummaryNack, Seq: 8, Keys: []string{"missing/1"}},
+		{Type: TypeAckBatch, Seq: 9, Acks: []AckItem{
+			{Kind: TypeAck, Seq: 1, Key: "flow/1"},
+			{Kind: TypeRemovalAck, Seq: 2, Key: "flow/2"},
+		}},
+		{Type: TypeAckBatch, Seq: 10},
 	}
 	for i := range seed {
 		data, err := seed[i].MarshalBinary()
@@ -62,6 +67,19 @@ func FuzzDecode(f *testing.F) {
 	longKey := append([]byte{}, summary...)
 	binary.BigEndian.PutUint16(longKey[18:], MaxKeyLen+1)
 	f.Add(resealFrame(longKey))
+	// Ack batches with corrupted counts, kinds, and lengths.
+	batch, _ := (&Message{Type: TypeAckBatch, Seq: 11, Acks: []AckItem{
+		{Kind: TypeAck, Seq: 3, Key: "aa"}, {Kind: TypeRemovalAck, Seq: 4, Key: "bb"},
+	}}).MarshalBinary()
+	overItems := append([]byte{}, batch...)
+	binary.BigEndian.PutUint16(overItems[16:], MaxAckItems+1)
+	f.Add(resealFrame(overItems))
+	badKind := append([]byte{}, batch...)
+	badKind[18] = byte(TypeRefresh)
+	f.Add(resealFrame(badKind))
+	longAckKey := append([]byte{}, batch...)
+	binary.BigEndian.PutUint16(longAckKey[27:], MaxKeyLen+1)
+	f.Add(resealFrame(longAckKey))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Message
@@ -89,6 +107,24 @@ func FuzzDecode(f *testing.F) {
 			}
 		} else if m.Keys != nil {
 			t.Fatalf("non-summary decoded with key list: %+v", m)
+		}
+		if m.Type.Batch() {
+			if m.Key != "" || m.Value != nil || m.Keys != nil {
+				t.Fatalf("ack batch decoded with key/value: %+v", m)
+			}
+			if len(m.Acks) > MaxAckItems {
+				t.Fatalf("decoded %d ack items", len(m.Acks))
+			}
+			for _, it := range m.Acks {
+				if it.Kind != TypeAck && it.Kind != TypeRemovalAck {
+					t.Fatalf("decoded invalid ack kind %v", it.Kind)
+				}
+				if len(it.Key) > MaxKeyLen {
+					t.Fatalf("decoded oversize ack key: %d bytes", len(it.Key))
+				}
+			}
+		} else if m.Acks != nil {
+			t.Fatalf("non-batch decoded with ack list: %+v", m)
 		}
 		// Round trip: an accepted frame re-encodes to the same bytes.
 		out, err := m.MarshalBinary()

@@ -24,6 +24,14 @@
 //
 //	2     key count N (≤ MaxSummaryKeys)
 //	N ×   { 2: key length, key bytes }
+//
+// TypeAckBatch mirrors that reduction on the reply path: one datagram
+// carries many coalesced acknowledgements, each with its own kind (ack or
+// removal-ack), sequence number, and key. K is 0 and the value region
+// holds the item list:
+//
+//	2     item count N (≤ MaxAckItems)
+//	N ×   { 1: ack kind, 8: sequence, 2: key length, key bytes }
 package wire
 
 import (
@@ -45,6 +53,10 @@ const (
 	// MaxSummaryKeys bounds the key list of a summary message. The list
 	// must also fit the MaxValueLen byte budget.
 	MaxSummaryKeys = 1024
+	// MaxAckItems bounds the item list of an ack batch. The list must
+	// also fit the MaxValueLen byte budget (each item costs 11 bytes plus
+	// its key, so 512 zero-length-key items still fit).
+	MaxAckItems = 512
 )
 
 // Type enumerates signaling message types.
@@ -71,6 +83,9 @@ const (
 	// TypeSummaryNack lists keys from a summary refresh that the receiver
 	// does not hold, telling the sender to fall back to full triggers.
 	TypeSummaryNack
+	// TypeAckBatch coalesces many acknowledgements (acks and removal-acks)
+	// into one datagram — the reply-path counterpart of summary refresh.
+	TypeAckBatch
 	maxType
 )
 
@@ -97,6 +112,8 @@ func (t Type) String() string {
 		return "summary-refresh"
 	case TypeSummaryNack:
 		return "summary-nack"
+	case TypeAckBatch:
+		return "ack-batch"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -108,6 +125,10 @@ func (t Type) Valid() bool { return t >= TypeTrigger && t < maxType }
 // Summary reports whether t carries a key list instead of a key/value pair.
 func (t Type) Summary() bool { return t == TypeSummaryRefresh || t == TypeSummaryNack }
 
+// Batch reports whether t carries a coalesced-ack list instead of a
+// key/value pair.
+func (t Type) Batch() bool { return t == TypeAckBatch }
+
 // Decoding and encoding errors.
 var (
 	ErrShort    = errors.New("wire: message truncated")
@@ -116,7 +137,18 @@ var (
 	ErrChecksum = errors.New("wire: checksum mismatch")
 	ErrTooLarge = errors.New("wire: key or value exceeds size limit")
 	ErrSummary  = errors.New("wire: malformed summary message")
+	ErrAckBatch = errors.New("wire: malformed ack batch")
 )
+
+// AckItem is one coalesced acknowledgement inside a TypeAckBatch message.
+type AckItem struct {
+	// Kind is the acknowledgement being carried: TypeAck or TypeRemovalAck.
+	Kind Type
+	// Seq echoes the sequence number being acknowledged.
+	Seq uint64
+	// Key names the acknowledged state.
+	Key string
+}
 
 // Message is one signaling datagram.
 type Message struct {
@@ -131,6 +163,8 @@ type Message struct {
 	Value []byte
 	// Keys is the key list of a summary message; nil for all other types.
 	Keys []string
+	// Acks is the item list of an ack batch; nil for all other types.
+	Acks []AckItem
 }
 
 const headerLen = 1 + 1 + 8 + 2 // version, type, seq, key length
@@ -141,6 +175,9 @@ func (m *Message) EncodedLen() int {
 	if m.Type.Summary() {
 		return headerLen + 4 + summaryBlockLen(m.Keys) + trailerLen
 	}
+	if m.Type.Batch() {
+		return headerLen + 4 + ackBlockLen(m.Acks) + trailerLen
+	}
 	return headerLen + len(m.Key) + 4 + len(m.Value) + trailerLen
 }
 
@@ -149,6 +186,15 @@ func summaryBlockLen(keys []string) int {
 	n := 2
 	for _, k := range keys {
 		n += 2 + len(k)
+	}
+	return n
+}
+
+// ackBlockLen is the encoded size of an ack-batch item list.
+func ackBlockLen(items []AckItem) int {
+	n := 2
+	for i := range items {
+		n += 1 + 8 + 2 + len(items[i].Key)
 	}
 	return n
 }
@@ -168,6 +214,21 @@ func SummaryFits(keys []string) int {
 	return n
 }
 
+// AckBatchFits reports how many of items fit one ack-batch datagram: the
+// largest prefix within both MaxAckItems and the MaxValueLen byte budget.
+// Receivers use it to chunk large coalesced-reply sets.
+func AckBatchFits(items []AckItem) int {
+	n, bytes := 0, 2
+	for i := range items {
+		if n >= MaxAckItems || bytes+1+8+2+len(items[i].Key) > MaxValueLen {
+			break
+		}
+		bytes += 1 + 8 + 2 + len(items[i].Key)
+		n++
+	}
+	return n
+}
+
 // MarshalBinary encodes m.
 func (m *Message) MarshalBinary() ([]byte, error) {
 	return m.Append(make([]byte, 0, m.EncodedLen()))
@@ -180,6 +241,9 @@ func (m *Message) Append(dst []byte) ([]byte, error) {
 	}
 	if m.Type.Summary() {
 		return m.appendSummary(dst)
+	}
+	if m.Type.Batch() {
+		return m.appendAckBatch(dst)
 	}
 	if len(m.Key) > MaxKeyLen || len(m.Value) > MaxValueLen {
 		return nil, fmt.Errorf("%w: key %d bytes, value %d bytes", ErrTooLarge, len(m.Key), len(m.Value))
@@ -199,7 +263,7 @@ func (m *Message) Append(dst []byte) ([]byte, error) {
 // appendSummary encodes a summary message: zero key length, and the key
 // list in the value region.
 func (m *Message) appendSummary(dst []byte) ([]byte, error) {
-	if m.Key != "" || m.Value != nil {
+	if m.Key != "" || m.Value != nil || m.Acks != nil {
 		return nil, fmt.Errorf("%w: %s carries a key list, not key/value", ErrSummary, m.Type)
 	}
 	if len(m.Keys) > MaxSummaryKeys {
@@ -223,6 +287,44 @@ func (m *Message) appendSummary(dst []byte) ([]byte, error) {
 	for _, k := range m.Keys {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(k)))
 		dst = append(dst, k...)
+	}
+	sum := crc32.ChecksumIEEE(dst[start:])
+	dst = binary.BigEndian.AppendUint32(dst, sum)
+	return dst, nil
+}
+
+// appendAckBatch encodes an ack batch: zero key length, and the item list
+// in the value region.
+func (m *Message) appendAckBatch(dst []byte) ([]byte, error) {
+	if m.Key != "" || m.Value != nil || m.Keys != nil {
+		return nil, fmt.Errorf("%w: %s carries an ack list, not key/value", ErrAckBatch, m.Type)
+	}
+	if len(m.Acks) > MaxAckItems {
+		return nil, fmt.Errorf("%w: %d ack items", ErrTooLarge, len(m.Acks))
+	}
+	block := ackBlockLen(m.Acks)
+	if block > MaxValueLen {
+		return nil, fmt.Errorf("%w: ack block %d bytes", ErrTooLarge, block)
+	}
+	for i := range m.Acks {
+		if k := m.Acks[i].Kind; k != TypeAck && k != TypeRemovalAck {
+			return nil, fmt.Errorf("%w: item kind %v", ErrAckBatch, k)
+		}
+		if len(m.Acks[i].Key) > MaxKeyLen {
+			return nil, fmt.Errorf("%w: ack key %d bytes", ErrTooLarge, len(m.Acks[i].Key))
+		}
+	}
+	start := len(dst)
+	dst = append(dst, Version, byte(m.Type))
+	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
+	dst = binary.BigEndian.AppendUint16(dst, 0) // no single key
+	dst = binary.BigEndian.AppendUint32(dst, uint32(block))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Acks)))
+	for i := range m.Acks {
+		dst = append(dst, byte(m.Acks[i].Kind))
+		dst = binary.BigEndian.AppendUint64(dst, m.Acks[i].Seq)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Acks[i].Key)))
+		dst = append(dst, m.Acks[i].Key...)
 	}
 	sum := crc32.ChecksumIEEE(dst[start:])
 	dst = binary.BigEndian.AppendUint32(dst, sum)
@@ -254,6 +356,9 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	if typ.Summary() && keyLen != 0 {
 		return fmt.Errorf("%w: nonzero key length", ErrSummary)
 	}
+	if typ.Batch() && keyLen != 0 {
+		return fmt.Errorf("%w: nonzero key length", ErrAckBatch)
+	}
 	rest := body[12:]
 	if len(rest) < keyLen+4 {
 		return ErrShort
@@ -278,6 +383,20 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 		m.Key = ""
 		m.Value = nil
 		m.Keys = keys
+		m.Acks = nil
+		return nil
+	}
+	if typ.Batch() {
+		acks, err := decodeAckBlock(rest)
+		if err != nil {
+			return err
+		}
+		m.Type = typ
+		m.Seq = seq
+		m.Key = ""
+		m.Value = nil
+		m.Keys = nil
+		m.Acks = acks
 		return nil
 	}
 	var value []byte
@@ -290,6 +409,7 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	m.Key = key
 	m.Value = value
 	m.Keys = nil
+	m.Acks = nil
 	return nil
 }
 
@@ -326,10 +446,51 @@ func decodeSummaryBlock(block []byte) ([]string, error) {
 	return keys, nil
 }
 
+// decodeAckBlock parses the item list of an ack batch. Keys are copied, so
+// the result does not alias block.
+func decodeAckBlock(block []byte) ([]AckItem, error) {
+	if len(block) < 2 {
+		return nil, ErrShort
+	}
+	n := int(binary.BigEndian.Uint16(block))
+	if n > MaxAckItems {
+		return nil, fmt.Errorf("%w: %d ack items", ErrTooLarge, n)
+	}
+	block = block[2:]
+	items := make([]AckItem, 0, n)
+	for i := 0; i < n; i++ {
+		if len(block) < 1+8+2 {
+			return nil, ErrShort
+		}
+		kind := Type(block[0])
+		if kind != TypeAck && kind != TypeRemovalAck {
+			return nil, fmt.Errorf("%w: item kind %d", ErrAckBatch, block[0])
+		}
+		seq := binary.BigEndian.Uint64(block[1:9])
+		kl := int(binary.BigEndian.Uint16(block[9:11]))
+		if kl > MaxKeyLen {
+			return nil, fmt.Errorf("%w: ack key %d bytes", ErrTooLarge, kl)
+		}
+		block = block[11:]
+		if len(block) < kl {
+			return nil, ErrShort
+		}
+		items = append(items, AckItem{Kind: kind, Seq: seq, Key: string(block[:kl])})
+		block = block[kl:]
+	}
+	if len(block) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrAckBatch, len(block))
+	}
+	return items, nil
+}
+
 // String renders the message for logging.
 func (m *Message) String() string {
 	if m.Type.Summary() {
 		return fmt.Sprintf("%s seq=%d keys=%d", m.Type, m.Seq, len(m.Keys))
+	}
+	if m.Type.Batch() {
+		return fmt.Sprintf("%s seq=%d acks=%d", m.Type, m.Seq, len(m.Acks))
 	}
 	return fmt.Sprintf("%s seq=%d key=%q (%d bytes)", m.Type, m.Seq, m.Key, len(m.Value))
 }

@@ -45,8 +45,8 @@ func TestRoundTripEmptyValue(t *testing.T) {
 func TestRoundTripProperty(t *testing.T) {
 	prop := func(typRaw uint8, seq uint64, key string, value []byte) bool {
 		typ := Type(typRaw%uint8(maxType-1)) + TypeTrigger
-		if typ.Summary() {
-			// Summary types carry a key list; covered by their own tests.
+		if typ.Summary() || typ.Batch() {
+			// Summary and batch types carry lists; covered by their own tests.
 			typ = TypeTrigger
 		}
 		if len(key) > MaxKeyLen {
@@ -319,6 +319,138 @@ func TestSummaryDecodeDoesNotAliasInput(t *testing.T) {
 	}
 	if out.Keys[0] != "abc" {
 		t.Fatal("decoded summary aliases input buffer")
+	}
+}
+
+func TestAckBatchRoundTrip(t *testing.T) {
+	in := Message{Type: TypeAckBatch, Seq: 12, Acks: []AckItem{
+		{Kind: TypeAck, Seq: 3, Key: "flow/1"},
+		{Kind: TypeRemovalAck, Seq: 9, Key: ""},
+		{Kind: TypeAck, Seq: 1 << 40, Key: "a/very/long/key"},
+	}}
+	data, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != in.EncodedLen() {
+		t.Fatalf("encoded %d bytes, EncodedLen says %d", len(data), in.EncodedLen())
+	}
+	var out Message
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != TypeAckBatch || out.Seq != 12 || out.Key != "" || out.Value != nil || out.Keys != nil {
+		t.Fatalf("roundtrip header mismatch: %+v", out)
+	}
+	if len(out.Acks) != len(in.Acks) {
+		t.Fatalf("acks = %v, want %v", out.Acks, in.Acks)
+	}
+	for i := range in.Acks {
+		if out.Acks[i] != in.Acks[i] {
+			t.Fatalf("item %d = %+v, want %+v", i, out.Acks[i], in.Acks[i])
+		}
+	}
+}
+
+func TestAckBatchEmptyList(t *testing.T) {
+	in := Message{Type: TypeAckBatch, Seq: 1}
+	data, err := in.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Message
+	if err := out.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Acks) != 0 {
+		t.Fatalf("acks = %v, want none", out.Acks)
+	}
+}
+
+func TestAckBatchRejectsMalformed(t *testing.T) {
+	m := Message{Type: TypeAckBatch, Key: "k"}
+	if _, err := m.MarshalBinary(); !errors.Is(err, ErrAckBatch) {
+		t.Fatalf("batch with key err = %v", err)
+	}
+	m = Message{Type: TypeAckBatch, Acks: []AckItem{{Kind: TypeTrigger, Key: "k"}}}
+	if _, err := m.MarshalBinary(); !errors.Is(err, ErrAckBatch) {
+		t.Fatalf("bad item kind err = %v", err)
+	}
+	m = Message{Type: TypeAckBatch, Acks: make([]AckItem, MaxAckItems+1)}
+	if _, err := m.MarshalBinary(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("too many items err = %v", err)
+	}
+	m = Message{Type: TypeAckBatch, Acks: []AckItem{{Kind: TypeAck, Key: strings.Repeat("k", MaxKeyLen+1)}}}
+	if _, err := m.MarshalBinary(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize item key err = %v", err)
+	}
+
+	good, err := (&Message{Type: TypeAckBatch, Seq: 1, Acks: []AckItem{
+		{Kind: TypeAck, Seq: 2, Key: "aa"}, {Kind: TypeRemovalAck, Seq: 3, Key: "bb"},
+	}}).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nonzero single-key length on a batch type.
+	bad := append([]byte{}, good...)
+	bad[10], bad[11] = 0, 1
+	if err := new(Message).UnmarshalBinary(reseal(bad)); !errors.Is(err, ErrAckBatch) {
+		t.Fatalf("nonzero key length err = %v", err)
+	}
+	// Count claims more items than the block holds.
+	bad = append([]byte{}, good...)
+	bad[16], bad[17] = 0, 9
+	if err := new(Message).UnmarshalBinary(reseal(bad)); !errors.Is(err, ErrShort) {
+		t.Fatalf("short item list err = %v", err)
+	}
+	// Count claims fewer items, leaving trailing bytes.
+	bad = append([]byte{}, good...)
+	bad[16], bad[17] = 0, 1
+	if err := new(Message).UnmarshalBinary(reseal(bad)); !errors.Is(err, ErrAckBatch) {
+		t.Fatalf("trailing bytes err = %v", err)
+	}
+	// Corrupt an item kind inside the block.
+	bad = append([]byte{}, good...)
+	bad[18] = byte(TypeNotify)
+	if err := new(Message).UnmarshalBinary(reseal(bad)); !errors.Is(err, ErrAckBatch) {
+		t.Fatalf("bad decoded kind err = %v", err)
+	}
+}
+
+func TestAckBatchFits(t *testing.T) {
+	if n := AckBatchFits(nil); n != 0 {
+		t.Fatalf("AckBatchFits(nil) = %d", n)
+	}
+	small := make([]AckItem, 100)
+	for i := range small {
+		small[i] = AckItem{Kind: TypeAck, Seq: uint64(i), Key: "k/123"}
+	}
+	if n := AckBatchFits(small); n != 100 {
+		t.Fatalf("AckBatchFits(small) = %d, want 100", n)
+	}
+	many := make([]AckItem, MaxAckItems+50)
+	for i := range many {
+		many[i] = AckItem{Kind: TypeAck}
+	}
+	if n := AckBatchFits(many); n != MaxAckItems {
+		t.Fatalf("AckBatchFits(many) = %d, want %d", n, MaxAckItems)
+	}
+	// The byte budget caps before the count does for long keys.
+	long := make([]AckItem, 100)
+	for i := range long {
+		long[i] = AckItem{Kind: TypeRemovalAck, Key: strings.Repeat("x", 400)}
+	}
+	n := AckBatchFits(long)
+	if n >= 100 || n == 0 {
+		t.Fatalf("AckBatchFits(long) = %d, want a partial prefix", n)
+	}
+	m := Message{Type: TypeAckBatch, Acks: long[:n]}
+	if _, err := m.MarshalBinary(); err != nil {
+		t.Fatalf("AckBatchFits prefix does not encode: %v", err)
+	}
+	m = Message{Type: TypeAckBatch, Acks: long[:n+1]}
+	if _, err := m.MarshalBinary(); err == nil {
+		t.Fatal("AckBatchFits prefix is not maximal")
 	}
 }
 
