@@ -8,18 +8,25 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strings"
 	"time"
 
 	"softstate"
+	"softstate/internal/clock"
 	"softstate/internal/lossy"
 	"softstate/internal/node"
 	"softstate/internal/signal"
 )
 
 func main() {
+	virtual := flag.Bool("virtual", false,
+		"run the 5-hop chain in deterministic virtual time (same -seed → byte-identical output)")
+	seed := flag.Uint64("seed", 5, "link impairment seed for the chain run")
+	flag.Parse()
+
 	p := softstate.DefaultMultihopParams() // 20 hops, 2% loss/hop, updates every 60 s
 
 	fmt.Println("Reserving bandwidth along a 20-router path (2% loss and 30 ms per hop):")
@@ -81,27 +88,96 @@ func main() {
 			proto, ana.Inconsistency, sim.Inconsistency)
 	}
 
-	liveChain()
+	if *virtual {
+		virtualChain(*seed)
+	} else {
+		liveChain(*seed)
+	}
+}
+
+// chainConfig is the shared 5-hop demo configuration: R = 100 ms with the
+// paper's T = 3R ratio, 2% loss and 3 ms delay per link.
+func chainConfig(proto softstate.Protocol, seed uint64) (signal.Config, lossy.Config) {
+	cfg := signal.Config{
+		Protocol:        proto,
+		RefreshInterval: 100 * time.Millisecond,
+		Timeout:         300 * time.Millisecond,
+		Retransmit:      25 * time.Millisecond,
+		Shards:          4,
+	}
+	link := lossy.Config{Loss: 0.02, Delay: 3 * time.Millisecond, Seed: seed}
+	return cfg, link
+}
+
+// virtualChain is the deterministic replay mode: the same real 5-hop
+// relay chain as liveChain — identical endpoints, wire protocol, and
+// impairments — but driven by a virtual clock. Nothing sleeps, latencies
+// are exact virtual times rather than wall measurements, and a fixed seed
+// reproduces the run byte for byte.
+func virtualChain(seed uint64) {
+	fmt.Println("\nVirtual run: the same reservation on a real 5-hop relay chain in")
+	fmt.Printf("deterministic virtual time (seed %d; same seed → identical output):\n", seed)
+	fmt.Printf("%8s %18s %14s %16s %10s\n",
+		"proto", "install latency", "holds @ 3R", "removal clears", "datagrams")
+	for _, proto := range softstate.MultihopProtocols() {
+		v := clock.NewVirtual()
+		cfg, link := chainConfig(proto, seed)
+		cfg.Clock = v
+		link.Clock = v
+		c, err := node.NewChain(6, cfg, link)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		const key = "reservation/video-1"
+		start := v.Elapsed()
+		if err := c.Install(key, []byte("10Mbps")); err != nil {
+			log.Fatal(err)
+		}
+		install := "timeout"
+		if v.RunUntil(func() bool { _, ok := c.Tail.Get(key); return ok },
+			time.Millisecond, 5*time.Second) {
+			install = (v.Elapsed() - start).Round(time.Millisecond).String()
+		}
+
+		v.Run(3 * cfg.RefreshInterval)
+		holds := c.Holds(key)
+
+		start = v.Elapsed()
+		if err := c.Remove(key); err != nil {
+			log.Fatal(err)
+		}
+		cleared := "timeout"
+		if v.RunUntil(func() bool { return c.Holds(key) == 0 },
+			time.Millisecond, 5*time.Second) {
+			cleared = (v.Elapsed() - start).Round(time.Millisecond).String()
+		}
+
+		sent := c.Origin.Stats().TotalSent()
+		for _, r := range c.Relays {
+			sent += r.Downstream().Stats().TotalSent()
+			sent += r.Receiver().Stats().TotalSent()
+		}
+		sent += c.Tail.Stats().TotalSent()
+		fmt.Printf("%8v %18s %10d/5 %16s %10d\n",
+			proto, install, holds, cleared, sent)
+		c.Close()
+	}
+	fmt.Println("\nEvery number above is a pure function of the seed: the chain ran the")
+	fmt.Println("production endpoints with all timers and link delays in virtual time.")
 }
 
 // liveChain runs the protocols on a real 5-hop relay chain: an origin
 // node, four relays, and a tail receiver, each link dropping 2% of
 // datagrams. Timers are scaled down (R = 100 ms) so the demo finishes in
 // seconds; the R:T ratio matches the paper's deployed defaults (T = 3R).
-func liveChain() {
+func liveChain(seed uint64) {
 	fmt.Println("\nLive run: the same reservation on a real 5-hop relay chain")
 	fmt.Println("(internal/node: one relay per router, 2% loss and 3 ms per link):")
 	fmt.Printf("%8s %18s %14s %16s %10s\n",
 		"proto", "install latency", "holds @ 3R", "removal clears", "datagrams")
 	for _, proto := range softstate.MultihopProtocols() {
-		cfg := signal.Config{
-			Protocol:        proto,
-			RefreshInterval: 100 * time.Millisecond,
-			Timeout:         300 * time.Millisecond,
-			Retransmit:      25 * time.Millisecond,
-			Shards:          4,
-		}
-		link := lossy.Config{Loss: 0.02, Delay: 3 * time.Millisecond, Seed: 5}
+		cfg, link := chainConfig(proto, seed)
 		c, err := node.NewChain(6, cfg, link)
 		if err != nil {
 			log.Fatal(err)

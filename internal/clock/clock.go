@@ -1,0 +1,247 @@
+// Package clock abstracts time for the signaling runtime so the same
+// protocol code runs in two modes: live, against the wall clock
+// (clock.System), and simulated, against a virtual clock driven by the
+// discrete-event kernel of internal/des (clock.NewVirtual).
+//
+// Every time-dependent layer — internal/statetable's timing wheels,
+// internal/lossy's delayed datagram delivery, internal/signal's summary
+// sweeper and ack flusher — takes a Clock in its config and schedules all
+// deadlines through it. Under clock.System the implementations are thin
+// wrappers over package time and behavior is exactly the pre-Clock
+// runtime. Under a *Virtual clock no wall time passes at all: deadlines
+// become kernel events, the experiment driver pumps them with Run, and a
+// simulated hour of 64-peer refresh traffic executes in however long the
+// event processing takes — deterministically, which is what lets the
+// paper's experiments run on the production code path (internal/sim) and
+// lets protocol tests replace sleep/poll loops with virtual waits.
+package clock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"softstate/internal/des"
+)
+
+// Timer is a restartable one-shot timer bound to a callback, mirroring
+// time.AfterFunc. Reset replaces any pending expiry; Stop disarms. Like
+// time.Timer, stopping does not guarantee a callback that already began
+// is not running — callers guard with their own closed flags.
+type Timer interface {
+	Reset(d time.Duration)
+	Stop()
+}
+
+// Clock is the time source and timer factory shared by live and virtual
+// modes.
+type Clock interface {
+	// Now returns the current (wall or virtual) time.
+	Now() time.Time
+	// Since returns Now().Sub(t).
+	Since(t time.Time) time.Duration
+	// NewTimer returns an unarmed timer that runs fn on expiry.
+	NewTimer(fn func()) Timer
+	// AfterFunc returns a timer armed to run fn after d.
+	AfterFunc(d time.Duration, fn func()) Timer
+	// Virtual reports whether this clock is simulated. Virtual callbacks
+	// run serialized on the goroutine driving Run, so components may pick
+	// an event-driven strategy instead of goroutine sleep loops.
+	Virtual() bool
+}
+
+// Or returns c, or System when c is nil — the config-default helper used
+// by every layer that takes an optional Clock.
+func Or(c Clock) Clock {
+	if c == nil {
+		return System
+	}
+	return c
+}
+
+// System is the wall clock: package time, unchanged semantics.
+var System Clock = systemClock{}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time                  { return time.Now() }
+func (systemClock) Since(t time.Time) time.Duration { return time.Since(t) }
+func (systemClock) Virtual() bool                   { return false }
+
+func (systemClock) NewTimer(fn func()) Timer {
+	t := time.AfterFunc(time.Hour, fn)
+	t.Stop() // time has no unarmed AfterFunc constructor; disarm immediately
+	return sysTimer{t}
+}
+
+func (systemClock) AfterFunc(d time.Duration, fn func()) Timer {
+	return sysTimer{time.AfterFunc(d, fn)}
+}
+
+type sysTimer struct{ t *time.Timer }
+
+func (t sysTimer) Reset(d time.Duration) { t.t.Reset(d) }
+func (t sysTimer) Stop()                 { t.t.Stop() }
+
+// epoch is the fixed origin of every virtual clock: runs are reproducible,
+// so virtual time must not depend on when the process started.
+var epoch = time.Date(2003, 8, 25, 0, 0, 0, 0, time.UTC) // SIGCOMM '03
+
+// Virtual is a deterministic simulated clock. Timers are events on an
+// internal des.Kernel whose time unit is nanoseconds (held exactly by
+// float64 for ~104 days of simulated time); nothing fires until a driver
+// goroutine calls Run.
+//
+// Determinism contract: exactly one goroutine drives Run, and all other
+// goroutines touching the clocked system (protocol read loops, state-table
+// users) only run as a consequence of events the driver fires. The gate
+// (Enter/Exit) tracks that induced work — a lossy pipe Enters when it
+// hands a datagram to a reader goroutine and Exits when the reader has
+// fully processed it — and Run waits for the gate to drain before firing
+// the next event, so virtual time never advances while a protocol
+// goroutine is mid-message. API calls on endpoints (Install, Remove,
+// Close) must happen on the driver goroutine between Run calls.
+type Virtual struct {
+	mu   sync.Mutex
+	cond *sync.Cond // signaled when busy returns to 0
+	k    *des.Kernel
+	busy int
+}
+
+// NewVirtual returns a virtual clock at the epoch.
+func NewVirtual() *Virtual {
+	v := &Virtual{k: des.New()}
+	v.cond = sync.NewCond(&v.mu)
+	return v
+}
+
+// Now returns the current virtual time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return epoch.Add(time.Duration(v.k.Now()))
+}
+
+// Since returns Now().Sub(t).
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Elapsed returns the virtual time advanced since creation.
+func (v *Virtual) Elapsed() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return time.Duration(v.k.Now())
+}
+
+// Virtual reports true.
+func (v *Virtual) Virtual() bool { return true }
+
+// NewTimer returns an unarmed virtual timer running fn on expiry.
+func (v *Virtual) NewTimer(fn func()) Timer {
+	if fn == nil {
+		panic("clock: nil timer callback")
+	}
+	return &vTimer{v: v, fn: fn}
+}
+
+// AfterFunc returns a virtual timer armed to run fn after d.
+func (v *Virtual) AfterFunc(d time.Duration, fn func()) Timer {
+	t := v.NewTimer(fn)
+	t.Reset(d)
+	return t
+}
+
+type vTimer struct {
+	v  *Virtual
+	fn func()
+	ev *des.Event
+}
+
+func (t *vTimer) Reset(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+	t.ev = t.v.k.Schedule(float64(d), t.fn)
+}
+
+func (t *vTimer) Stop() {
+	t.v.mu.Lock()
+	defer t.v.mu.Unlock()
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Enter marks one unit of induced work outstanding: a datagram or wakeup
+// has been handed to a goroutine that has not finished reacting to it.
+// Run will not fire further events until a matching Exit.
+func (v *Virtual) Enter() {
+	v.mu.Lock()
+	v.busy++
+	v.mu.Unlock()
+}
+
+// Exit retires one unit of induced work.
+func (v *Virtual) Exit() {
+	v.mu.Lock()
+	v.busy--
+	if v.busy < 0 {
+		v.mu.Unlock()
+		panic("clock: Exit without matching Enter")
+	}
+	if v.busy == 0 {
+		v.cond.Signal()
+	}
+	v.mu.Unlock()
+}
+
+// Run advances virtual time by d, firing every due timer in deterministic
+// kernel order. Before each event — and before finally advancing to the
+// horizon — it waits for the gate to drain, so all work induced by one
+// event completes before the next fires. Callbacks run on the caller's
+// goroutine. Run must not be called from inside a callback.
+func (v *Virtual) Run(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("clock: negative Run duration %v", d))
+	}
+	v.mu.Lock()
+	horizon := v.k.Now() + float64(d)
+	for {
+		for v.busy > 0 {
+			v.cond.Wait()
+		}
+		fn := v.k.PopDue(horizon)
+		if fn == nil {
+			break
+		}
+		v.mu.Unlock()
+		fn()
+		v.mu.Lock()
+	}
+	v.k.RunUntil(horizon) // no due events remain: just advance the clock
+	v.mu.Unlock()
+}
+
+// RunUntil advances virtual time until cond holds or budget elapses,
+// checking every step. It reports whether cond held, and is the virtual
+// replacement for sleep/poll loops in tests and demos. cond runs on the
+// driver goroutine with the system quiesced.
+func (v *Virtual) RunUntil(cond func() bool, step, budget time.Duration) bool {
+	if step <= 0 {
+		panic("clock: non-positive RunUntil step")
+	}
+	for spent := time.Duration(0); ; spent += step {
+		if cond() {
+			return true
+		}
+		if spent >= budget {
+			return false
+		}
+		v.Run(step)
+	}
+}

@@ -77,6 +77,26 @@ func (k *Kernel) At(t float64, fn func()) *Event {
 	return e
 }
 
+// PopDue removes the next pending event if its time is ≤ horizon, advances
+// the clock to it, and returns its callback without running it. Callers
+// that need to release locks around event execution (the virtual clock in
+// internal/clock) use this instead of Step.
+func (k *Kernel) PopDue(horizon float64) func() {
+	for {
+		e := k.peek()
+		if e == nil || e.time > horizon {
+			return nil
+		}
+		k.pop()
+		if e.cancelled {
+			continue
+		}
+		k.now = e.time
+		k.fired++
+		return e.fn
+	}
+}
+
 // Step executes the next pending event, if any, and reports whether one
 // was executed. Cancelled events are discarded without executing.
 func (k *Kernel) Step() bool {

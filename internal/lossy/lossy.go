@@ -1,8 +1,19 @@
 // Package lossy provides transports for exercising the signaling runtime
-// under adverse conditions: an in-memory net.PacketConn pair with
-// configurable loss, delay, and jitter (deterministic enough for tests),
-// and a wrapper that injects the same impairments into any real
-// net.PacketConn (e.g. a UDP socket) for demos.
+// under adverse conditions: an in-memory net.PacketConn pair (Pipe) or
+// many-endpoint switch (Network) with configurable loss, delay, and jitter
+// (deterministic enough for tests), and a wrapper that injects the same
+// impairments into any real net.PacketConn (e.g. a UDP socket) for demos.
+//
+// All impairment timing goes through a clock.Clock. Under clock.System the
+// transports behave as before — delayed datagrams ride time.AfterFunc.
+// Under a *clock.Virtual every delivery (even a zero-delay one) becomes a
+// kernel event, and the conns participate in the clock's quiesce gate:
+// delivering a datagram to a reader goroutine holds virtual time still
+// until that reader has fully processed it (tracked as Enter on enqueue,
+// Exit when the reader returns for the next datagram). That is what makes
+// whole-protocol runs deterministic: at most one protocol goroutine is
+// ever reacting to an event while the clock decides what fires next. In
+// virtual mode each conn must have at most one reader goroutine.
 package lossy
 
 import (
@@ -12,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"softstate/internal/clock"
 	"softstate/internal/rand"
 )
 
@@ -26,6 +38,9 @@ type Config struct {
 	Jitter time.Duration
 	// Seed drives the loss/jitter stream (0 means a fixed default).
 	Seed uint64
+	// Clock schedules deliveries (clock.System when nil). Pass a
+	// *clock.Virtual to run the link in simulated time.
+	Clock clock.Clock
 }
 
 func (c Config) validate() error {
@@ -39,6 +54,12 @@ func (c Config) validate() error {
 		return errors.New("lossy: jitter exceeds mean delay")
 	}
 	return nil
+}
+
+// gate returns the virtual clock when the config runs in simulated time.
+func (c Config) gate() *clock.Virtual {
+	v, _ := c.Clock.(*clock.Virtual)
+	return v
 }
 
 // addr is a trivial net.Addr for the in-memory transport.
@@ -68,21 +89,73 @@ func Pipe(cfg Config) (a, b net.PacketConn, err error) {
 	rng := rand.NewSource(seed)
 	ca := newPipeConn("pipe-a", cfg, rng.Split())
 	cb := newPipeConn("pipe-b", cfg, rng.Split())
-	ca.peer, cb.peer = cb, ca
+	peerA, peerB := cb, ca
+	ca.route = func(net.Addr) *pipeConn { return peerA }
+	cb.route = func(net.Addr) *pipeConn { return peerB }
 	return ca, cb, nil
 }
 
-// pipeConn is one endpoint of an in-memory pair.
+// Network is an in-memory switch: any number of named endpoints, every
+// datagram between them subject to the shared impairment config. It is
+// the many-party form of Pipe, letting one node.Node fan out to dozens of
+// receivers inside a single (virtual or wall) clock domain.
+type Network struct {
+	cfg Config
+	mu  sync.Mutex
+	rng *rand.Source
+	eps map[string]*pipeConn
+}
+
+// NewNetwork creates an empty switch.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x0e171e57
+	}
+	return &Network{cfg: cfg, rng: rand.NewSource(seed), eps: make(map[string]*pipeConn)}, nil
+}
+
+// Endpoint creates (or returns) the endpoint named name. Datagrams written
+// on it are routed by destination address to the endpoint of that name;
+// unknown destinations are silently dropped, like an unroutable network.
+func (nw *Network) Endpoint(name string) net.PacketConn {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if c, ok := nw.eps[name]; ok {
+		return c
+	}
+	c := newPipeConn(name, nw.cfg, nw.rng.Split())
+	c.route = nw.lookup
+	nw.eps[name] = c
+	return c
+}
+
+func (nw *Network) lookup(to net.Addr) *pipeConn {
+	if to == nil {
+		return nil
+	}
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.eps[to.String()]
+}
+
+// pipeConn is one endpoint of an in-memory pair or switch.
 type pipeConn struct {
-	name addr
-	cfg  Config
+	name  addr
+	cfg   Config
+	clk   clock.Clock
+	gate  *clock.Virtual // non-nil in virtual mode
+	route func(to net.Addr) *pipeConn
 
 	mu     sync.Mutex
 	rng    *rand.Source
-	peer   *pipeConn
 	queue  chan packet // never closed; done signals shutdown instead
 	done   chan struct{}
 	closed bool
+	handed int // virtual mode: datagrams returned to the reader, not yet retired
 
 	readDeadline time.Time
 }
@@ -93,14 +166,16 @@ func newPipeConn(name string, cfg Config, rng *rand.Source) *pipeConn {
 	return &pipeConn{
 		name:  addr(name),
 		cfg:   cfg,
+		clk:   clock.Or(cfg.Clock),
+		gate:  cfg.gate(),
 		rng:   rng,
 		queue: make(chan packet, pipeQueueDepth),
 		done:  make(chan struct{}),
 	}
 }
 
-// WriteTo applies loss and delay, then enqueues at the peer.
-func (c *pipeConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+// WriteTo applies loss and delay, then enqueues at the destination.
+func (c *pipeConn) WriteTo(p []byte, to net.Addr) (int, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -108,20 +183,23 @@ func (c *pipeConn) WriteTo(p []byte, _ net.Addr) (int, error) {
 	}
 	drop := c.rng.Bernoulli(c.cfg.Loss)
 	delay := c.sampleDelayLocked()
-	peer := c.peer
 	c.mu.Unlock()
 
-	if drop {
+	peer := c.route(to)
+	if drop || peer == nil {
 		return len(p), nil // silently dropped, like a lossy network
 	}
 	data := make([]byte, len(p))
 	copy(data, p)
 	deliver := func() { peer.enqueue(packet{data: data, from: c.name}) }
-	if delay <= 0 {
+	if delay <= 0 && c.gate == nil {
 		deliver()
 		return len(p), nil
 	}
-	time.AfterFunc(delay, deliver)
+	// In virtual mode even zero-delay datagrams ride the kernel: delivery
+	// order is then decided by the clock, one event at a time, instead of
+	// racing the writer's goroutine.
+	c.clk.AfterFunc(delay, deliver)
 	return len(p), nil
 }
 
@@ -136,39 +214,67 @@ func (c *pipeConn) sampleDelayLocked() time.Duration {
 
 func (c *pipeConn) enqueue(p packet) {
 	c.mu.Lock()
-	closed := c.closed
-	c.mu.Unlock()
-	if closed {
+	defer c.mu.Unlock()
+	if c.closed {
 		return
 	}
 	select {
 	case c.queue <- p:
+		if c.gate != nil {
+			c.gate.Enter() // retired when the reader finishes with it
+		}
 	default:
 		// Queue overflow behaves like router-buffer drop.
 	}
 }
 
-// ReadFrom blocks for the next datagram, honoring the read deadline.
+// retireHandedLocked tells the gate the reader has finished processing
+// every datagram previously returned; callers hold c.mu.
+func (c *pipeConn) retireHandedLocked() {
+	for ; c.handed > 0; c.handed-- {
+		c.gate.Exit()
+	}
+}
+
+// ReadFrom blocks for the next datagram, honoring the read deadline. A
+// fresh call signals that the previous datagram has been fully processed,
+// which is what lets the virtual clock advance past it.
 func (c *pipeConn) ReadFrom(p []byte) (int, net.Addr, error) {
 	c.mu.Lock()
+	if c.gate != nil {
+		c.retireHandedLocked()
+	}
 	deadline := c.readDeadline
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
 		return 0, nil, net.ErrClosed
 	}
-	var timeout <-chan time.Time
+	var timeout <-chan struct{}
 	if !deadline.IsZero() {
-		d := time.Until(deadline)
+		d := deadline.Sub(c.clk.Now())
 		if d <= 0 {
 			return 0, nil, timeoutError{}
 		}
-		t := time.NewTimer(d)
+		expired := make(chan struct{})
+		t := c.clk.AfterFunc(d, func() { close(expired) })
 		defer t.Stop()
-		timeout = t.C
+		timeout = expired
 	}
 	select {
 	case pkt := <-c.queue:
+		if c.gate != nil {
+			c.mu.Lock()
+			if c.closed {
+				// Close already drained the gate for queued datagrams it
+				// could see; this one left the queue first, so retire it
+				// here instead of handing it to a dead reader's ledger.
+				c.gate.Exit()
+			} else {
+				c.handed++
+			}
+			c.mu.Unlock()
+		}
 		n := copy(p, pkt.data)
 		return n, pkt.from, nil
 	case <-c.done:
@@ -180,7 +286,9 @@ func (c *pipeConn) ReadFrom(p []byte) (int, net.Addr, error) {
 
 // Close shuts the endpoint: pending reads unblock with net.ErrClosed and
 // later deliveries are dropped by enqueue. The queue channel is never
-// closed, so a peer's in-flight WriteTo can race Close safely.
+// closed, so a peer's in-flight WriteTo can race Close safely. In virtual
+// mode Close retires every outstanding gate unit (handed and still
+// queued), so a closed endpoint can never stall the clock.
 func (c *pipeConn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -188,6 +296,18 @@ func (c *pipeConn) Close() error {
 		return nil
 	}
 	c.closed = true
+	if c.gate != nil {
+		c.retireHandedLocked()
+		for {
+			select {
+			case <-c.queue:
+				c.gate.Exit()
+				continue
+			default:
+			}
+			break
+		}
+	}
 	c.mu.Unlock()
 	close(c.done)
 	return nil
@@ -224,20 +344,27 @@ type Conn struct {
 
 	mu  sync.Mutex
 	cfg Config
+	clk clock.Clock
 	rng *rand.Source
 	wg  sync.WaitGroup
 }
 
-// Wrap wraps conn with impairments.
+// Wrap wraps conn with impairments. Virtual clocks are rejected: Conn
+// impairs *real* transports (UDP demos), does no quiesce-gate accounting,
+// and its Close would deadlock a simulation driver waiting on deliveries
+// only that driver can fire — simulated runs use Pipe or Network instead.
 func Wrap(conn net.PacketConn, cfg Config) (*Conn, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.gate() != nil {
+		return nil, errors.New("lossy: Wrap does not support virtual clocks; use Pipe or Network")
 	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 0xfeedface
 	}
-	return &Conn{PacketConn: conn, cfg: cfg, rng: rand.NewSource(seed)}, nil
+	return &Conn{PacketConn: conn, cfg: cfg, clk: clock.Or(cfg.Clock), rng: rand.NewSource(seed)}, nil
 }
 
 // WriteTo drops or delays the datagram before handing it to the wrapped
@@ -265,7 +392,7 @@ func (c *Conn) WriteTo(p []byte, to net.Addr) (int, error) {
 	data := make([]byte, len(p))
 	copy(data, p)
 	c.wg.Add(1)
-	time.AfterFunc(delay, func() {
+	c.clk.AfterFunc(delay, func() {
 		defer c.wg.Done()
 		_, _ = c.PacketConn.WriteTo(data, to)
 	})

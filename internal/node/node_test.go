@@ -7,6 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"softstate/internal/clock"
+	"softstate/internal/lossy"
 	"softstate/internal/signal"
 	"softstate/internal/wire"
 )
@@ -46,11 +48,18 @@ func udpConn(t *testing.T) net.PacketConn {
 	return c
 }
 
-// fanout builds one Node and count receivers over UDP loopback.
-func fanout(t *testing.T, cfg signal.Config, count int) (*Node, []*signal.Receiver, []net.Addr) {
+// fanout builds one Node and count receivers over a virtual-time lossy
+// switch: the whole 64-receiver topology shares one clock, so the tests
+// advance simulated timeout windows instead of sleeping through them.
+func fanout(t *testing.T, cfg signal.Config, count int) (*clock.Virtual, *Node, []*signal.Receiver, []net.Addr) {
 	t.Helper()
-	nconn := udpConn(t)
-	n, err := New(nconn, cfg)
+	v := clock.NewVirtual()
+	cfg.Clock = v
+	nw, err := lossy.NewNetwork(lossy.Config{Clock: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := New(nw.Endpoint("node"), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +67,7 @@ func fanout(t *testing.T, cfg signal.Config, count int) (*Node, []*signal.Receiv
 	rcvs := make([]*signal.Receiver, count)
 	addrs := make([]net.Addr, count)
 	for i := range rcvs {
-		rc := udpConn(t)
+		rc := nw.Endpoint(fmt.Sprintf("peer%03d", i))
 		addrs[i] = rc.LocalAddr()
 		rcv, err := signal.NewReceiver(rc, cfg)
 		if err != nil {
@@ -71,7 +80,7 @@ func fanout(t *testing.T, cfg signal.Config, count int) (*Node, []*signal.Receiv
 			r.Close()
 		}
 	})
-	return n, rcvs, addrs
+	return v, n, rcvs, addrs
 }
 
 // TestNodeFanoutInstallAndDemux: one node maintains distinct state at many
@@ -80,7 +89,7 @@ func fanout(t *testing.T, cfg signal.Config, count int) (*Node, []*signal.Receiv
 func TestNodeFanoutInstallAndDemux(t *testing.T) {
 	const peers, keys = 8, 16
 	cfg := fastConfig(signal.SSRT)
-	n, rcvs, addrs := fanout(t, cfg, peers)
+	v, n, rcvs, addrs := fanout(t, cfg, peers)
 	for p := 0; p < peers; p++ {
 		for k := 0; k < keys; k++ {
 			if err := n.Install(addrs[p], fmt.Sprintf("flow/%d", k), []byte(fmt.Sprintf("peer%d", p))); err != nil {
@@ -90,14 +99,14 @@ func TestNodeFanoutInstallAndDemux(t *testing.T) {
 	}
 	for p := 0; p < peers; p++ {
 		p := p
-		eventually(t, fmt.Sprintf("peer %d installs", p), func() bool { return rcvs[p].Len() == keys })
-		v, ok := rcvs[p].Get("flow/0")
-		if !ok || !bytes.Equal(v, []byte(fmt.Sprintf("peer%d", p))) {
-			t.Fatalf("peer %d holds %q", p, v)
+		within(t, v, time.Second, fmt.Sprintf("peer %d installs", p), func() bool { return rcvs[p].Len() == keys })
+		val, ok := rcvs[p].Get("flow/0")
+		if !ok || !bytes.Equal(val, []byte(fmt.Sprintf("peer%d", p))) {
+			t.Fatalf("peer %d holds %q", p, val)
 		}
 	}
 	// Reliable triggers: every session must see its ACKs and quiesce.
-	eventually(t, "all triggers acked", func() bool {
+	within(t, v, time.Second, "all triggers acked", func() bool {
 		acked := true
 		for _, s := range n.Peers() {
 			if s.Live() != keys {
@@ -124,7 +133,7 @@ func TestNodeFanoutSummaryRefresh(t *testing.T) {
 	cfg.Timeout = 160 * time.Millisecond
 	cfg.SummaryRefresh = true
 	cfg.Shards = 2 // 64 receivers also run in this test; bound goroutines
-	n, rcvs, addrs := fanout(t, cfg, peers)
+	v, n, rcvs, addrs := fanout(t, cfg, peers)
 	for p := 0; p < peers; p++ {
 		for k := 0; k < keys; k++ {
 			if err := n.Install(addrs[p], fmt.Sprintf("flow/%d", k), []byte("v")); err != nil {
@@ -134,9 +143,9 @@ func TestNodeFanoutSummaryRefresh(t *testing.T) {
 	}
 	for p := 0; p < peers; p++ {
 		p := p
-		eventually(t, fmt.Sprintf("peer %d installs", p), func() bool { return rcvs[p].Len() == keys })
+		within(t, v, time.Second, fmt.Sprintf("peer %d installs", p), func() bool { return rcvs[p].Len() == keys })
 	}
-	time.Sleep(4 * cfg.Timeout)
+	v.Run(4 * cfg.Timeout)
 	for p := 0; p < peers; p++ {
 		if got := rcvs[p].Len(); got != keys {
 			t.Fatalf("peer %d decayed to %d of %d keys despite summary refresh", p, got, keys)
@@ -163,7 +172,7 @@ func TestNodeFanoutSummaryRefresh(t *testing.T) {
 func TestNodeSelectiveRemove(t *testing.T) {
 	const peers, keys = 4, 8
 	cfg := fastConfig(signal.SSER)
-	n, rcvs, addrs := fanout(t, cfg, peers)
+	v, n, rcvs, addrs := fanout(t, cfg, peers)
 	for p := 0; p < peers; p++ {
 		for k := 0; k < keys; k++ {
 			if err := n.Install(addrs[p], fmt.Sprintf("flow/%d", k), []byte("v")); err != nil {
@@ -173,14 +182,14 @@ func TestNodeSelectiveRemove(t *testing.T) {
 	}
 	for p := 0; p < peers; p++ {
 		p := p
-		eventually(t, "installs", func() bool { return rcvs[p].Len() == keys })
+		within(t, v, time.Second, "installs", func() bool { return rcvs[p].Len() == keys })
 	}
 	for k := 0; k < keys; k++ {
 		if err := n.Remove(addrs[0], fmt.Sprintf("flow/%d", k)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	eventually(t, "peer 0 emptied", func() bool { return rcvs[0].Len() == 0 })
+	within(t, v, time.Second, "peer 0 emptied", func() bool { return rcvs[0].Len() == 0 })
 	for p := 1; p < peers; p++ {
 		if rcvs[p].Len() != keys {
 			t.Fatalf("peer %d lost state on peer 0's removal", p)

@@ -5,29 +5,51 @@ import (
 	"testing"
 	"time"
 
+	"softstate/internal/clock"
 	"softstate/internal/lossy"
 )
 
-// TestAdaptiveRefreshBoundsAggregateRate: with many keys and a rate bound,
-// the stretched per-key interval keeps total refresh traffic near the cap
-// (Sharma et al. scalable timers).
-func TestAdaptiveRefreshBoundsAggregateRate(t *testing.T) {
-	a, b, err := lossy.Pipe(lossy.Config{})
+// vSenderOnly builds a virtual-time sender whose peer end is drained by a
+// bare read loop (no Receiver), for tests that only inspect sender-side
+// traffic counters.
+func vSenderOnly(t *testing.T, cfg Config) (*clock.Virtual, *Sender) {
+	t.Helper()
+	v := clock.NewVirtual()
+	cfg.Clock = v
+	a, b, err := lossy.Pipe(lossy.Config{Clock: v})
 	if err != nil {
 		t.Fatal(err)
-	}
-	defer b.Close()
-	cfg := Config{
-		Protocol:        SS,
-		RefreshInterval: 5 * time.Millisecond, // would be 2000 refreshes/s with 10 keys
-		Timeout:         10 * time.Second,     // keep receiver-side out of the picture
-		MaxRefreshRate:  100,                  // cap: 100 refreshes/s aggregate
 	}
 	snd, err := NewSender(a, b.LocalAddr(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer snd.Close()
+	go func() { // drain so the gate never stalls on unread datagrams
+		buf := make([]byte, 64*1024)
+		for {
+			if _, _, err := b.ReadFrom(buf); err != nil {
+				return
+			}
+		}
+	}()
+	t.Cleanup(func() {
+		snd.Close()
+		b.Close()
+	})
+	return v, snd
+}
+
+// TestAdaptiveRefreshBoundsAggregateRate: with many keys and a rate bound,
+// the stretched per-key interval keeps total refresh traffic near the cap
+// (Sharma et al. scalable timers). The window is exact virtual time, so
+// the bounds are much tighter than the old wall-clock sleep allowed.
+func TestAdaptiveRefreshBoundsAggregateRate(t *testing.T) {
+	v, snd := vSenderOnly(t, Config{
+		Protocol:        SS,
+		RefreshInterval: 5 * time.Millisecond, // would be 2000 refreshes/s with 10 keys
+		Timeout:         10 * time.Second,     // keep receiver-side out of the picture
+		MaxRefreshRate:  100,                  // cap: 100 refreshes/s aggregate
+	})
 	const keys = 10
 	for i := 0; i < keys; i++ {
 		if err := snd.Install(fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
@@ -35,7 +57,7 @@ func TestAdaptiveRefreshBoundsAggregateRate(t *testing.T) {
 		}
 	}
 	const window = 500 * time.Millisecond
-	time.Sleep(window)
+	v.Run(window)
 	sent := snd.Stats().Sent["refresh"]
 	// Expected ≈ cap·window = 50; unbounded would be ≈1000. Allow slack.
 	if sent > 120 {
@@ -49,26 +71,16 @@ func TestAdaptiveRefreshBoundsAggregateRate(t *testing.T) {
 // TestAdaptiveRefreshInactiveBelowThreshold: with few keys the configured
 // interval applies unchanged.
 func TestAdaptiveRefreshInactiveBelowThreshold(t *testing.T) {
-	a, b, err := lossy.Pipe(lossy.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer b.Close()
-	cfg := Config{
+	v, snd := vSenderOnly(t, Config{
 		Protocol:        SS,
 		RefreshInterval: 20 * time.Millisecond,
 		Timeout:         10 * time.Second,
 		MaxRefreshRate:  1000, // threshold = 1000·0.02 = 20 keys; we use 1
-	}
-	snd, err := NewSender(a, b.LocalAddr(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer snd.Close()
+	})
 	if err := snd.Install("solo", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(300 * time.Millisecond)
+	v.Run(300 * time.Millisecond)
 	sent := snd.Stats().Sent["refresh"]
 	// ≈15 expected at 50/s; the stretch must not have kicked in.
 	if sent < 8 {

@@ -22,6 +22,7 @@ type ackBatcher struct {
 // peerAcks is one peer's accumulated acknowledgements.
 type peerAcks struct {
 	to    net.Addr
+	addr  string // to.String(), for deterministic flush ordering
 	items []wire.AckItem
 }
 
@@ -33,14 +34,15 @@ func newAckBatcher() *ackBatcher {
 }
 
 // add queues one acknowledgement for to, waking the flusher if the
-// batcher was empty.
-func (b *ackBatcher) add(to net.Addr, item wire.AckItem) {
+// batcher was empty, and reports that empty→non-empty transition (the
+// virtual-mode flush path arms its clock timer on it).
+func (b *ackBatcher) add(to net.Addr, item wire.AckItem) bool {
 	addr := to.String()
 	b.mu.Lock()
 	wasEmpty := len(b.pending) == 0
 	pa := b.pending[addr]
 	if pa == nil {
-		pa = &peerAcks{to: to}
+		pa = &peerAcks{to: to, addr: addr}
 		b.pending[addr] = pa
 	}
 	pa.items = append(pa.items, item)
@@ -51,6 +53,7 @@ func (b *ackBatcher) add(to net.Addr, item wire.AckItem) {
 		default:
 		}
 	}
+	return wasEmpty
 }
 
 // take removes and returns everything queued so far.

@@ -2,8 +2,13 @@ package signal
 
 import (
 	"bytes"
+	"fmt"
 	"net"
 	"testing"
+	"time"
+
+	"softstate/internal/clock"
+	"softstate/internal/lossy"
 )
 
 // udpConn opens a loopback UDP socket or skips the test.
@@ -106,6 +111,91 @@ func TestReceiverIndependentSeqSpaces(t *testing.T) {
 		v, ok := rcv.GetFrom(cb.LocalAddr(), "k")
 		return ok && bytes.Equal(v, []byte("new-low"))
 	})
+}
+
+// TestKeyIndexTracksManySenders covers the secondary key→entries index:
+// with many senders holding the same key, the any-sender Get and the
+// removal paths resolve through the index (no table scan), stay correct
+// as senders come and go, and GetFrom remains the per-sender O(1) path.
+func TestKeyIndexTracksManySenders(t *testing.T) {
+	const senders = 8
+	v := clock.NewVirtual()
+	nw, err := lossy.NewNetwork(lossy.Config{Clock: v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(SS)
+	cfg.Clock = v
+	rconn := nw.Endpoint("rcv")
+	rcv, err := NewReceiver(rconn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rcv.Close()
+	snds := make([]*Sender, senders)
+	addrs := make([]net.Addr, senders)
+	for i := range snds {
+		conn := nw.Endpoint(fmt.Sprintf("snd%02d", i))
+		addrs[i] = conn.LocalAddr()
+		s, err := NewSender(conn, rconn.LocalAddr(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snds[i] = s
+		defer s.Close()
+	}
+	for i, s := range snds {
+		if err := s.Install("shared", []byte(fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Install(fmt.Sprintf("own/%02d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !v.RunUntil(func() bool { return rcv.Len() == 2*senders }, time.Millisecond, time.Second) {
+		t.Fatalf("receiver holds %d entries, want %d", rcv.Len(), 2*senders)
+	}
+	if got := len(rcv.matches("shared")); got != senders {
+		t.Fatalf("index holds %d entries for the shared key, want %d", got, senders)
+	}
+	// Get resolves through the index; the sorted order makes it the entry
+	// whose (source, key) table key is smallest — snd00's.
+	if got, ok := rcv.Get("shared"); !ok || !bytes.Equal(got, []byte("v00")) {
+		t.Fatalf("Get(shared) = %q, %v", got, ok)
+	}
+	for i := range snds {
+		want := []byte(fmt.Sprintf("v%02d", i))
+		if got, ok := rcv.GetFrom(addrs[i], "shared"); !ok || !bytes.Equal(got, want) {
+			t.Fatalf("GetFrom(sender %d) = %q, %v", i, got, ok)
+		}
+	}
+	// Kill half the senders; their entries expire and leave the index.
+	for i := 0; i < senders/2; i++ {
+		snds[i].Close()
+	}
+	if !v.RunUntil(func() bool { return len(rcv.matches("shared")) == senders/2 },
+		time.Millisecond, time.Second) {
+		t.Fatalf("index holds %d shared entries after expiry, want %d",
+			len(rcv.matches("shared")), senders/2)
+	}
+	// The surviving smallest sender is now snd04.
+	if got, ok := rcv.Get("shared"); !ok || !bytes.Equal(got, []byte(fmt.Sprintf("v%02d", senders/2))) {
+		t.Fatalf("Get(shared) after expiry = %q, %v", got, ok)
+	}
+	// A false removal hits exactly the indexed survivors, and the index
+	// ends empty for that key once they are gone.
+	if !rcv.InjectFalseRemoval("shared") {
+		t.Fatal("InjectFalseRemoval found no state")
+	}
+	if got := len(rcv.matches("shared")); got != 0 {
+		t.Fatalf("index still holds %d entries after false removal", got)
+	}
+	// Unrelated keys never left the index.
+	for i := senders / 2; i < senders; i++ {
+		if _, ok := rcv.Get(fmt.Sprintf("own/%02d", i)); !ok {
+			t.Fatalf("own/%02d lost from index", i)
+		}
+	}
 }
 
 // TestInjectFalseRemovalHitsAllSenders: a false external removal for a key

@@ -3,10 +3,12 @@ package signal
 import (
 	"errors"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"softstate/internal/clock"
 	"softstate/internal/statetable"
 	"softstate/internal/wire"
 )
@@ -22,16 +24,20 @@ import (
 type Receiver struct {
 	tp  transport
 	cfg Config
+	clk clock.Clock
+	det bool // virtual clock: order traffic deterministically
 
 	tbl    *statetable.Table[receiverEntry]
+	idx    keyIndex // secondary key→entries index for any-sender lookups
 	ctrs   counters
 	closed atomic.Bool
 
-	events  eventSink
-	acks    *ackBatcher // nil unless cfg.CoalesceAcks
-	done    chan struct{}
-	wg      sync.WaitGroup // read loop
-	flushWG sync.WaitGroup // ack flusher; drained before the transport closes
+	events     eventSink
+	acks       *ackBatcher // nil unless cfg.CoalesceAcks
+	flushTimer clock.Timer // ack flusher (virtual mode)
+	done       chan struct{}
+	wg         sync.WaitGroup // read loop
+	flushWG    sync.WaitGroup // ack flusher; drained before the transport closes
 }
 
 // receiverEntry is one installed piece of state for one (peer, key) pair.
@@ -53,20 +59,31 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 		return nil, errors.New("signal: nil conn")
 	}
 	cfg = cfg.withDefaults()
+	clk := clock.Or(cfg.Clock)
 	r := &Receiver{
 		tp:     transport{conn: conn},
 		cfg:    cfg,
+		clk:    clk,
+		det:    clk.Virtual(),
 		events: eventSink{ch: make(chan Event, cfg.EventBuffer), fn: cfg.OnEvent},
 		done:   make(chan struct{}),
 	}
+	r.idx.m = make(map[string]map[string]struct{})
 	r.tbl = statetable.New(statetable.Config[receiverEntry]{
 		Shards:   cfg.Shards,
+		Clock:    cfg.Clock,
 		OnExpire: r.onTimeout,
 	})
 	if cfg.CoalesceAcks {
 		r.acks = newAckBatcher()
-		r.flushWG.Add(1)
-		go r.flushLoop()
+		if r.det {
+			// Virtual mode: flushes are clock callbacks armed by the first
+			// ack of each batch window — no goroutine, no wall sleeps.
+			r.flushTimer = clk.NewTimer(r.flushVirtual)
+		} else {
+			r.flushWG.Add(1)
+			go r.flushLoop()
+		}
 	}
 	r.wg.Add(1)
 	go r.readLoop()
@@ -79,22 +96,20 @@ func (r *Receiver) Events() <-chan Event { return r.events.ch }
 // Stats returns a snapshot of message counters.
 func (r *Receiver) Stats() Stats { return r.ctrs.snapshot() }
 
-// Get returns an installed value for key from any sender, scanning the
-// table. With a single sender it is equivalent to GetFrom; with several
-// holding the same key it returns an arbitrary one.
+// Get returns an installed value for key from any sender, resolved
+// through the secondary key index — O(senders holding key), not a table
+// scan. With a single sender it is equivalent to GetFrom; with several
+// holding the same key it returns the one whose (source, key) entry sorts
+// first, which keeps virtual-time runs deterministic.
 func (r *Receiver) Get(key string) ([]byte, bool) {
-	var out []byte
-	found := false
-	r.tbl.Range(func(_ string, e *receiverEntry) bool {
-		if e.key == key {
-			out = make([]byte, len(e.value))
+	for _, ck := range r.idx.lookup(key) {
+		if e, ok := r.tbl.Get(ck); ok {
+			out := make([]byte, len(e.value))
 			copy(out, e.value)
-			found = true
-			return false
+			return out, true
 		}
-		return true
-	})
-	return out, found
+	}
+	return nil, false
 }
 
 // GetFrom returns the value installed for key by the sender at from — an
@@ -124,16 +139,9 @@ func (r *Receiver) Keys() []string {
 }
 
 // matches collects the (peer, key) table keys currently holding state for
-// key, across all senders.
+// key, across all senders — an index lookup, not a table scan.
 func (r *Receiver) matches(key string) []string {
-	var cks []string
-	r.tbl.Range(func(ck string, e *receiverEntry) bool {
-		if e.key == key {
-			cks = append(cks, ck)
-		}
-		return true
-	})
-	return cks
+	return r.idx.lookup(key)
 }
 
 // InjectFalseRemoval simulates the hard-state external failure signal
@@ -166,6 +174,10 @@ func (r *Receiver) Close() error {
 	// flusher's final drain while the transport is still open, so pending
 	// coalesced replies go out instead of being dropped by the fence —
 	// matching the immediate-send behavior of the non-coalescing path.
+	if r.flushTimer != nil {
+		r.flushTimer.Stop()
+		r.flushAcks()
+	}
 	r.flushWG.Wait()
 	r.tbl.Close() // no timeout callback runs past this point
 	err := r.tp.close()
@@ -198,10 +210,12 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 	r.ctrs.received[m.Type].Add(1)
 	switch m.Type {
 	case wire.TypeTrigger, wire.TypeRefresh:
-		r.tbl.Upsert(rkey(from.String(), m.Key), func(e *receiverEntry, created bool, tc statetable.TimerControl[receiverEntry]) {
+		ck := rkey(from.String(), m.Key)
+		r.tbl.Upsert(ck, func(e *receiverEntry, created bool, tc statetable.TimerControl[receiverEntry]) {
 			if created {
 				e.key = m.Key
 				e.peer = from
+				r.idx.add(m.Key, ck)
 				r.emit(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
 			} else if m.Seq >= e.lastSeq && !bytesEqual(e.value, m.Value) {
 				r.emit(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
@@ -287,22 +301,36 @@ func (r *Receiver) onTimeout(_ string, _ statetable.TimerKind, e *receiverEntry,
 	}
 }
 
-// drop removes an entry and emits the given event; callers hold the
-// entry's shard lock via tc.
+// drop removes an entry (and its index slot) and emits the given event;
+// callers hold the entry's shard lock via tc.
 func (r *Receiver) drop(e *receiverEntry, tc statetable.TimerControl[receiverEntry], kind EventKind) {
 	key, value, peer := e.key, e.value, e.peer
+	r.idx.remove(key, tc.Key())
 	tc.Delete()
 	r.emit(Event{Kind: kind, Key: key, Value: value, Peer: peer})
 }
 
 // ack queues (or, without coalescing, immediately sends) one
-// acknowledgement to to.
+// acknowledgement to to. In virtual mode the first ack of a batch window
+// arms the flush as a clock callback instead of kicking a flusher
+// goroutine.
 func (r *Receiver) ack(kind wire.Type, seq uint64, key string, to net.Addr) {
 	if r.acks != nil {
-		r.acks.add(to, wire.AckItem{Kind: kind, Seq: seq, Key: key})
+		if r.acks.add(to, wire.AckItem{Kind: kind, Seq: seq, Key: key}) && r.flushTimer != nil {
+			r.flushTimer.Reset(r.cfg.AckFlushInterval)
+		}
 		return
 	}
 	r.send(wire.Message{Type: kind, Seq: seq, Key: key}, to)
+}
+
+// flushVirtual is the virtual-mode flush callback; the close-time drain is
+// handled by Close itself.
+func (r *Receiver) flushVirtual() {
+	if r.closed.Load() {
+		return
+	}
+	r.flushAcks()
 }
 
 // flushLoop drains the ack batcher one AckFlushInterval after replies
@@ -337,7 +365,12 @@ func (r *Receiver) flushLoop() {
 
 // flushAcks sends every pending coalesced acknowledgement.
 func (r *Receiver) flushAcks() {
-	for _, pa := range r.acks.take() {
+	pending := r.acks.take()
+	if r.det {
+		// Deterministic reply order for reproducible virtual runs.
+		sort.Slice(pending, func(i, j int) bool { return pending[i].addr < pending[j].addr })
+	}
+	for _, pa := range pending {
 		items := pa.items
 		for len(items) > 0 {
 			n := wire.AckBatchFits(items)
@@ -367,6 +400,53 @@ func (r *Receiver) send(m wire.Message, to net.Addr) {
 }
 
 func (r *Receiver) emit(ev Event) { r.events.emit(ev) }
+
+// keyIndex is the receiver's secondary index: user key → set of (source,
+// key) table keys holding it. It is what keeps the any-sender Get and the
+// removal paths (InjectFalseRemoval) O(senders per key) instead of a full
+// table scan; GetFrom never touches it. The index mutex is a leaf lock:
+// add/remove run under a state-table shard lock, lookup runs lock-free of
+// the table and re-checks entries against it.
+type keyIndex struct {
+	mu sync.Mutex
+	m  map[string]map[string]struct{}
+}
+
+func (ix *keyIndex) add(key, ck string) {
+	ix.mu.Lock()
+	set := ix.m[key]
+	if set == nil {
+		set = make(map[string]struct{})
+		ix.m[key] = set
+	}
+	set[ck] = struct{}{}
+	ix.mu.Unlock()
+}
+
+func (ix *keyIndex) remove(key, ck string) {
+	ix.mu.Lock()
+	if set := ix.m[key]; set != nil {
+		delete(set, ck)
+		if len(set) == 0 {
+			delete(ix.m, key)
+		}
+	}
+	ix.mu.Unlock()
+}
+
+// lookup returns the table keys holding key, sorted so iteration order is
+// deterministic.
+func (ix *keyIndex) lookup(key string) []string {
+	ix.mu.Lock()
+	set := ix.m[key]
+	out := make([]string, 0, len(set))
+	for ck := range set {
+		out = append(out, ck)
+	}
+	ix.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
 
 func bytesEqual(a, b []byte) bool {
 	if len(a) != len(b) {

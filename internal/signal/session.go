@@ -4,10 +4,12 @@ import (
 	"encoding/binary"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"softstate/internal/clock"
 	"softstate/internal/statetable"
 	"softstate/internal/wire"
 )
@@ -26,6 +28,8 @@ import (
 type Sessions struct {
 	cfg Config
 	tp  transport
+	clk clock.Clock
+	det bool // virtual clock: order traffic deterministically
 
 	tbl    *statetable.Table[senderEntry]
 	live   atomic.Int64 // live keys across all sessions
@@ -34,7 +38,9 @@ type Sessions struct {
 
 	events eventSink
 	done   chan struct{}
-	wg     sync.WaitGroup // summary sweeper
+	wg     sync.WaitGroup // summary sweeper (wall mode)
+
+	sweepTimer clock.Timer // summary sweeper (virtual mode)
 
 	nextID atomic.Uint32
 	peers  [peerShardCount]peerShard
@@ -93,22 +99,33 @@ func userKey(ck string) string { return ck[4:] }
 // then CloseEvents once the read loop has drained.
 func NewSessions(conn net.PacketConn, cfg Config) *Sessions {
 	cfg = cfg.withDefaults()
+	clk := clock.Or(cfg.Clock)
 	ss := &Sessions{
 		cfg:    cfg,
 		tp:     transport{conn: conn},
+		clk:    clk,
+		det:    clk.Virtual(),
 		events: eventSink{ch: make(chan Event, cfg.EventBuffer), fn: cfg.OnEvent},
 		done:   make(chan struct{}),
 	}
 	ss.tbl = statetable.New(statetable.Config[senderEntry]{
 		Shards:   cfg.Shards,
+		Clock:    cfg.Clock,
 		OnExpire: ss.onExpire,
 	})
 	for i := range ss.peers {
 		ss.peers[i].m = make(map[string]*Session)
 	}
 	if ss.summaryMode() {
-		ss.wg.Add(1)
-		go ss.summaryLoop()
+		if ss.det {
+			// Virtual mode: the sweep is a clock callback on the simulation
+			// driver — no goroutine, no wall sleeps, deterministic order
+			// against every other event.
+			ss.sweepTimer = clk.AfterFunc(ss.summaryInterval(), ss.sweepVirtual)
+		} else {
+			ss.wg.Add(1)
+			go ss.summaryLoop()
+		}
 	}
 	return ss
 }
@@ -204,6 +221,9 @@ func (ss *Sessions) Shutdown() error {
 		return nil
 	}
 	close(ss.done)
+	if ss.sweepTimer != nil {
+		ss.sweepTimer.Stop()
+	}
 	ss.tbl.Close() // no expiry callback runs past this point
 	err := ss.tp.close()
 	ss.wg.Wait()
@@ -460,6 +480,16 @@ func (ss *Sessions) summaryLoop() {
 	}
 }
 
+// sweepVirtual is the virtual-mode sweeper: one clock callback per sweep,
+// rearmed against the current (possibly stretched) interval.
+func (ss *Sessions) sweepVirtual() {
+	if ss.closed.Load() {
+		return
+	}
+	ss.summarySweep()
+	ss.sweepTimer.Reset(ss.summaryInterval())
+}
+
 // summaryInterval is the sweep period: the refresh interval R, stretched
 // so the aggregate summary-datagram rate (at least ⌈n/SummaryMaxKeys⌉ per
 // sweep for n live keys) stays under MaxRefreshRate when one is
@@ -491,8 +521,23 @@ func (ss *Sessions) summarySweep() int {
 		}
 		return true
 	})
+	sessions := make([]*Session, 0, len(per))
+	for sess := range per {
+		sessions = append(sessions, sess)
+	}
+	if ss.det {
+		// Virtual runs must be reproducible: fix the datagram order (and
+		// the key set inside each datagram) that map iteration would
+		// otherwise randomize, so the link's loss stream hits the same
+		// datagrams every run.
+		sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
+		for _, sess := range sessions {
+			sort.Strings(per[sess])
+		}
+	}
 	sent := 0
-	for sess, keys := range per {
+	for _, sess := range sessions {
+		keys := per[sess]
 		for len(keys) > 0 {
 			n := wire.SummaryFits(keys)
 			if n > ss.cfg.SummaryMaxKeys {

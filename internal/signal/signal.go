@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"softstate/internal/clock"
 	"softstate/internal/singlehop"
 	"softstate/internal/wire"
 )
@@ -89,6 +90,14 @@ type Config struct {
 	// state-table ticks). Keep it well under Retransmit, or held-back acks
 	// will trigger spurious retransmissions.
 	AckFlushInterval time.Duration
+	// Clock is the time source for every endpoint deadline — state-table
+	// wheels, summary sweeps, ack flushes (clock.System when nil). Pass a
+	// *clock.Virtual (and the same clock in the transport's lossy.Config)
+	// to run the endpoint in simulated time: all periodic work then runs
+	// as clock callbacks on the simulation driver with deterministic
+	// ordering, which internal/sim uses to run the paper's experiments on
+	// this exact code path.
+	Clock clock.Clock
 	// OnEvent, when set, is called synchronously for every event before
 	// it is offered to the Events channel — unlike the channel, it never
 	// drops. It runs on protocol goroutines, sometimes with a state-table

@@ -59,30 +59,30 @@ func eventually(t *testing.T, what string, cond func() bool) {
 }
 
 func TestInstallPropagates(t *testing.T) {
-	snd, rcv := endpoints(t, SS, 0)
-	if err := snd.Install("flow/1", []byte("10Mbps")); err != nil {
+	c := vEndpoints(t, SS, 0)
+	if err := c.snd.Install("flow/1", []byte("10Mbps")); err != nil {
 		t.Fatal(err)
 	}
-	eventually(t, "install", func() bool {
-		v, ok := rcv.Get("flow/1")
+	c.within(time.Second, "install", func() bool {
+		v, ok := c.rcv.Get("flow/1")
 		return ok && bytes.Equal(v, []byte("10Mbps"))
 	})
-	if got := snd.Keys(); len(got) != 1 || got[0] != "flow/1" {
+	if got := c.snd.Keys(); len(got) != 1 || got[0] != "flow/1" {
 		t.Fatalf("sender keys = %v", got)
 	}
 }
 
 func TestUpdatePropagates(t *testing.T) {
-	snd, rcv := endpoints(t, SS, 0)
-	if err := snd.Install("k", []byte("v1")); err != nil {
+	c := vEndpoints(t, SS, 0)
+	if err := c.snd.Install("k", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
-	if err := snd.Update("k", []byte("v2")); err != nil {
+	c.within(time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	if err := c.snd.Update("k", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	eventually(t, "update", func() bool {
-		v, _ := rcv.Get("k")
+	c.within(time.Second, "update", func() bool {
+		v, _ := c.rcv.Get("k")
 		return bytes.Equal(v, []byte("v2"))
 	})
 }
@@ -95,56 +95,57 @@ func TestUpdateUnknownKeyFails(t *testing.T) {
 }
 
 func TestRefreshKeepsStateAlive(t *testing.T) {
-	snd, rcv := endpoints(t, SS, 0)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
+	c := vEndpoints(t, SS, 0)
+	c.snd.Install("k", []byte("v"))
+	c.within(time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
 	// Hold well past several timeout intervals; refreshes must keep it.
-	time.Sleep(4 * fastConfig(SS).Timeout)
-	if _, ok := rcv.Get("k"); !ok {
+	c.run(4 * fastConfig(SS).Timeout)
+	if _, ok := c.rcv.Get("k"); !ok {
 		t.Fatal("state expired despite refreshes")
 	}
 }
 
 func TestStateExpiresWhenSenderDies(t *testing.T) {
-	snd, rcv := endpoints(t, SS, 0)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
+	c := vEndpoints(t, SS, 0)
+	c.snd.Install("k", []byte("v"))
+	c.within(time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
 	// Simulate a crash: close the sender without removing state.
-	snd.Close()
-	eventually(t, "expiry", func() bool { _, ok := rcv.Get("k"); return !ok })
+	c.snd.Close()
+	c.within(time.Second, "expiry", func() bool { _, ok := c.rcv.Get("k"); return !ok })
 }
 
 func TestSSRemovalIsSilent(t *testing.T) {
-	snd, rcv := endpoints(t, SS, 0)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
-	before := time.Now()
-	if err := snd.Remove("k"); err != nil {
+	c := vEndpoints(t, SS, 0)
+	c.snd.Install("k", []byte("v"))
+	c.within(time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	before := c.clk.Elapsed()
+	if err := c.snd.Remove("k"); err != nil {
 		t.Fatal(err)
 	}
-	eventually(t, "timeout removal", func() bool { _, ok := rcv.Get("k"); return !ok })
-	// Pure SS has no removal message: cleanup waits for the timeout.
-	if elapsed := time.Since(before); elapsed < fastConfig(SS).Timeout/2 {
+	c.within(time.Second, "timeout removal", func() bool { _, ok := c.rcv.Get("k"); return !ok })
+	// Pure SS has no removal message: cleanup waits for the timeout —
+	// measured exactly, in virtual time.
+	if elapsed := c.clk.Elapsed() - before; elapsed < fastConfig(SS).Timeout/2 {
 		t.Fatalf("SS state removed after only %v — removal message leaked?", elapsed)
 	}
-	if snd.Stats().Sent["removal"] != 0 {
+	if c.snd.Stats().Sent["removal"] != 0 {
 		t.Fatal("SS sent a removal message")
 	}
 }
 
 func TestExplicitRemovalIsPrompt(t *testing.T) {
-	snd, rcv := endpoints(t, SSER, 0)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
-	before := time.Now()
-	if err := snd.Remove("k"); err != nil {
+	c := vEndpoints(t, SSER, 0)
+	c.snd.Install("k", []byte("v"))
+	c.within(time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	before := c.clk.Elapsed()
+	if err := c.snd.Remove("k"); err != nil {
 		t.Fatal(err)
 	}
-	eventually(t, "explicit removal", func() bool { _, ok := rcv.Get("k"); return !ok })
-	if elapsed := time.Since(before); elapsed > fastConfig(SSER).Timeout/2 {
+	c.within(time.Second, "explicit removal", func() bool { _, ok := c.rcv.Get("k"); return !ok })
+	if elapsed := c.clk.Elapsed() - before; elapsed > fastConfig(SSER).Timeout/2 {
 		t.Fatalf("explicit removal took %v, should beat the timeout", elapsed)
 	}
-	if snd.Stats().Sent["removal"] == 0 {
+	if c.snd.Stats().Sent["removal"] == 0 {
 		t.Fatal("SS+ER did not send a removal message")
 	}
 }
@@ -157,57 +158,58 @@ func TestRemoveUnknownKeyFails(t *testing.T) {
 }
 
 func TestReliableTriggerSurvivesLoss(t *testing.T) {
-	snd, rcv := endpoints(t, SSRT, 0.5)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install under 50% loss", func() bool { _, ok := rcv.Get("k"); return ok })
+	c := vEndpoints(t, SSRT, 0.5)
+	c.snd.Install("k", []byte("v"))
+	c.within(3*time.Second, "install under 50% loss", func() bool { _, ok := c.rcv.Get("k"); return ok })
 	// The sender must eventually see the ACK and stop retransmitting.
-	eventually(t, "ack", func() bool {
-		st := snd.Stats()
+	c.within(3*time.Second, "ack", func() bool {
+		st := c.snd.Stats()
 		return st.Received["ack"] > 0
 	})
-	if snd.Stats().Sent["trigger"] < 1 {
+	if c.snd.Stats().Sent["trigger"] < 1 {
 		t.Fatal("no triggers sent")
 	}
 }
 
 func TestReliableRemovalSurvivesLoss(t *testing.T) {
-	snd, rcv := endpoints(t, SSRTR, 0.5)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
-	if err := snd.Remove("k"); err != nil {
+	c := vEndpoints(t, SSRTR, 0.5)
+	c.snd.Install("k", []byte("v"))
+	c.within(3*time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	if err := c.snd.Remove("k"); err != nil {
 		t.Fatal(err)
 	}
-	eventually(t, "reliable removal", func() bool { _, ok := rcv.Get("k"); return !ok })
+	c.within(3*time.Second, "reliable removal", func() bool { _, ok := c.rcv.Get("k"); return !ok })
 	// The sender's entry must be cleaned once the removal is ACKed.
-	eventually(t, "removal ack", func() bool {
-		return len(snd.Keys()) == 0 && snd.Stats().Received["removal-ack"] > 0
+	c.within(3*time.Second, "removal ack", func() bool {
+		return len(c.snd.Keys()) == 0 && c.snd.Stats().Received["removal-ack"] > 0
 	})
 }
 
 func TestHardStateNeverExpires(t *testing.T) {
-	snd, rcv := endpoints(t, HS, 0)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
-	// No refreshes and no timeout: the state must survive arbitrarily.
-	time.Sleep(4 * fastConfig(HS).Timeout)
-	if _, ok := rcv.Get("k"); !ok {
+	c := vEndpoints(t, HS, 0)
+	c.snd.Install("k", []byte("v"))
+	c.within(time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	// No refreshes and no timeout: the state must survive arbitrarily —
+	// a simulated hour costs nothing in virtual time.
+	c.run(time.Hour)
+	if _, ok := c.rcv.Get("k"); !ok {
 		t.Fatal("hard state expired")
 	}
-	if snd.Stats().Sent["refresh"] != 0 {
+	if c.snd.Stats().Sent["refresh"] != 0 {
 		t.Fatal("HS sent refreshes")
 	}
 }
 
 func TestHardStateFalseRemovalRepair(t *testing.T) {
-	snd, rcv := endpoints(t, HS, 0)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
-	if !rcv.InjectFalseRemoval("k") {
+	c := vEndpoints(t, HS, 0)
+	c.snd.Install("k", []byte("v"))
+	c.within(time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	if !c.rcv.InjectFalseRemoval("k") {
 		t.Fatal("InjectFalseRemoval found no state")
 	}
 	// The notify must reach the sender, which re-triggers, reinstalling.
-	eventually(t, "repair", func() bool { _, ok := rcv.Get("k"); return ok })
-	if rcv.InjectFalseRemoval("absent") {
+	c.within(time.Second, "repair", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	if c.rcv.InjectFalseRemoval("absent") {
 		t.Fatal("InjectFalseRemoval invented state")
 	}
 }
@@ -215,81 +217,68 @@ func TestHardStateFalseRemovalRepair(t *testing.T) {
 func TestTimeoutNotificationRepair(t *testing.T) {
 	// SS+RT: force a false removal by dropping everything long enough for
 	// the timeout to fire... simplest deterministic path: inject it.
-	snd, rcv := endpoints(t, SSRT, 0)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
-	rcv.InjectFalseRemoval("k")
-	eventually(t, "repair after notify", func() bool { _, ok := rcv.Get("k"); return ok })
+	c := vEndpoints(t, SSRT, 0)
+	c.snd.Install("k", []byte("v"))
+	c.within(time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	c.rcv.InjectFalseRemoval("k")
+	c.within(time.Second, "repair after notify", func() bool { _, ok := c.rcv.Get("k"); return ok })
 }
 
 func TestGiveUpAfterMaxRetransmits(t *testing.T) {
-	a, b, err := lossy.Pipe(lossy.Config{Loss: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := fastConfig(SSRT)
-	cfg.MaxRetransmits = 3
-	snd, err := NewSender(a, b.LocalAddr(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer snd.Close()
-	defer b.Close()
-	gaveUp := make(chan struct{})
-	go func() {
-		for ev := range snd.Events() {
-			if ev.Kind == EventGaveUp {
-				close(gaveUp)
-				return
-			}
-		}
-	}()
-	snd.Install("k", []byte("v"))
-	select {
-	case <-gaveUp:
-	case <-time.After(3 * time.Second):
-		t.Fatal("sender never gave up")
-	}
-	if got := snd.Stats().Sent["trigger"]; got != 4 { // initial + 3 retries
+	c := vEndpoints(t, SSRT, 1, func(cfg *Config) { cfg.MaxRetransmits = 3 })
+	c.snd.Install("k", []byte("v"))
+	c.within(3*time.Second, "give-up", func() bool {
+		return c.snd.Stats().Sent["trigger"] == 4 // initial + 3 retries
+	})
+	c.run(10 * fastConfig(SSRT).Retransmit) // no further retransmissions
+	if got := c.snd.Stats().Sent["trigger"]; got != 4 {
 		t.Fatalf("triggers sent = %d, want 4", got)
+	}
+	gaveUp := false
+	for done := false; !done; {
+		select {
+		case ev := <-c.snd.Events():
+			gaveUp = gaveUp || ev.Kind == EventGaveUp
+		default:
+			done = true
+		}
+	}
+	if !gaveUp {
+		t.Fatal("no give-up event emitted")
 	}
 }
 
 func TestEventsStream(t *testing.T) {
-	snd, rcv := endpoints(t, SSER, 0)
-	snd.Install("k", []byte("v"))
-	var got []EventKind
-	deadline := time.After(2 * time.Second)
-	for len(got) < 1 {
-		select {
-		case ev := <-rcv.Events():
-			got = append(got, ev.Kind)
-		case <-deadline:
-			t.Fatal("no receiver events")
+	c := vEndpoints(t, SSER, 0)
+	c.snd.Install("k", []byte("v"))
+	c.within(time.Second, "install", func() bool { return c.rcv.Len() == 1 })
+	select {
+	case ev := <-c.rcv.Events():
+		if ev.Kind != EventInstalled {
+			t.Fatalf("first receiver event = %v", ev.Kind)
 		}
-	}
-	if got[0] != EventInstalled {
-		t.Fatalf("first receiver event = %v", got[0])
+	default:
+		t.Fatal("no receiver events")
 	}
 }
 
 func TestMultipleKeys(t *testing.T) {
-	snd, rcv := endpoints(t, SSER, 0)
+	c := vEndpoints(t, SSER, 0)
 	keys := []string{"a", "b", "c", "d"}
 	for i, k := range keys {
-		if err := snd.Install(k, []byte{byte(i)}); err != nil {
+		if err := c.snd.Install(k, []byte{byte(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	eventually(t, "all installs", func() bool { return rcv.Len() == len(keys) })
-	if err := snd.Remove("b"); err != nil {
+	c.within(time.Second, "all installs", func() bool { return c.rcv.Len() == len(keys) })
+	if err := c.snd.Remove("b"); err != nil {
 		t.Fatal(err)
 	}
-	eventually(t, "selective removal", func() bool { return rcv.Len() == len(keys)-1 })
-	if _, ok := rcv.Get("b"); ok {
+	c.within(time.Second, "selective removal", func() bool { return c.rcv.Len() == len(keys)-1 })
+	if _, ok := c.rcv.Get("b"); ok {
 		t.Fatal("removed key still present")
 	}
-	if _, ok := rcv.Get("c"); !ok {
+	if _, ok := c.rcv.Get("c"); !ok {
 		t.Fatal("unrelated key lost")
 	}
 }
@@ -405,33 +394,19 @@ func TestDecodeErrorsCounted(t *testing.T) {
 func TestStaleTriggerDoesNotClobber(t *testing.T) {
 	// Deliver a current trigger, then replay an older datagram; the newer
 	// value must survive.
-	a, b, err := lossy.Pipe(lossy.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := fastConfig(SS)
-	rcv, err := NewReceiver(b, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer rcv.Close()
-	snd, err := NewSender(a, b.LocalAddr(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer snd.Close()
-	snd.Install("k", []byte("v1"))
-	eventually(t, "v1", func() bool { _, ok := rcv.Get("k"); return ok })
-	snd.Update("k", []byte("v2"))
-	eventually(t, "v2", func() bool {
-		v, _ := rcv.Get("k")
+	c := vEndpoints(t, SS, 0)
+	c.snd.Install("k", []byte("v1"))
+	c.within(time.Second, "v1", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	c.snd.Update("k", []byte("v2"))
+	c.within(time.Second, "v2", func() bool {
+		v, _ := c.rcv.Get("k")
 		return bytes.Equal(v, []byte("v2"))
 	})
 	// Replay a hand-crafted stale trigger (seq 1 carried v1).
 	stale := mustEncode(t, 1, "k", []byte("v1"))
-	a.WriteTo(stale, nil)
-	time.Sleep(30 * time.Millisecond)
-	v, _ := rcv.Get("k")
+	c.sndConn.WriteTo(stale, nil)
+	c.run(30 * time.Millisecond)
+	v, _ := c.rcv.Get("k")
 	if !bytes.Equal(v, []byte("v2")) {
 		t.Fatalf("stale replay clobbered value: %q", v)
 	}

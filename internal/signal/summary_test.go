@@ -5,92 +5,69 @@ import (
 	"testing"
 	"time"
 
+	"softstate/internal/clock"
 	"softstate/internal/lossy"
 	"softstate/internal/wire"
 )
 
-// summaryEndpoints builds a connected pair with summary refresh enabled on
-// the sender.
-func summaryEndpoints(t *testing.T, proto Protocol, maxKeys int) (*Sender, *Receiver) {
+// vSummaryEndpoints builds a virtual-time connected pair with summary
+// refresh enabled on the sender.
+func vSummaryEndpoints(t *testing.T, proto Protocol, maxKeys int) *vctx {
 	t.Helper()
-	a, b, err := lossy.Pipe(lossy.Config{Delay: time.Millisecond, Seed: 7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := fastConfig(proto)
-	cfg.SummaryRefresh = true
-	cfg.SummaryMaxKeys = maxKeys
-	snd, err := NewSender(a, b.LocalAddr(), cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rcv, err := NewReceiver(b, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		snd.Close()
-		rcv.Close()
+	return vEndpoints(t, proto, 0, func(cfg *Config) {
+		cfg.SummaryRefresh = true
+		cfg.SummaryMaxKeys = maxKeys
 	})
-	return snd, rcv
 }
 
 // TestSummaryRefreshKeepsStateAlive: with summary refresh on, no per-key
 // refresh datagrams flow, yet state survives well past the timeout.
 func TestSummaryRefreshKeepsStateAlive(t *testing.T) {
-	snd, rcv := summaryEndpoints(t, SS, 64)
+	c := vSummaryEndpoints(t, SS, 64)
 	const keys = 100
 	for i := 0; i < keys; i++ {
-		if err := snd.Install(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+		if err := c.snd.Install(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	eventually(t, "all installs", func() bool { return rcv.Len() == keys })
-	time.Sleep(4 * fastConfig(SS).Timeout)
-	if got := rcv.Len(); got != keys {
+	c.within(time.Second, "all installs", func() bool { return c.rcv.Len() == keys })
+	c.run(4 * fastConfig(SS).Timeout)
+	if got := c.rcv.Len(); got != keys {
 		t.Fatalf("receiver holds %d of %d keys after summary-refresh window", got, keys)
 	}
-	st := snd.Stats()
+	st := c.snd.Stats()
 	if st.Sent["refresh"] != 0 {
 		t.Fatalf("summary mode sent %d per-key refreshes", st.Sent["refresh"])
 	}
 	if st.Sent["summary-refresh"] == 0 {
 		t.Fatal("no summary refreshes sent")
 	}
-	if rcv.Stats().Received["summary-refresh"] == 0 {
+	if c.rcv.Stats().Received["summary-refresh"] == 0 {
 		t.Fatal("receiver saw no summary refreshes")
 	}
 }
 
 // TestSummaryRefreshReducesDatagrams is the paper-facing claim (and the
 // acceptance bar): at 64 keys per summary, refresh traffic drops at least
-// 10× against per-key refreshes for the same key count and interval.
+// 10× against per-key refreshes for the same key count and interval. In
+// virtual time the ten-interval window is measured exactly, not slept.
 func TestSummaryRefreshReducesDatagrams(t *testing.T) {
 	const keys = 256
 	window := 10 * fastConfig(SS).RefreshInterval
 
 	countRefreshes := func(summary bool) int {
-		a, b, err := lossy.Pipe(lossy.Config{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		cfg := fastConfig(SS)
-		cfg.Timeout = time.Minute // isolate refresh traffic from expiry
-		cfg.SummaryRefresh = summary
-		cfg.SummaryMaxKeys = 64
-		snd, err := NewSender(a, b.LocalAddr(), cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		defer snd.Close()
-		defer b.Close()
+		c := vEndpoints(t, SS, 0, func(cfg *Config) {
+			cfg.Timeout = time.Minute // isolate refresh traffic from expiry
+			cfg.SummaryRefresh = summary
+			cfg.SummaryMaxKeys = 64
+		})
 		for i := 0; i < keys; i++ {
-			if err := snd.Install(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+			if err := c.snd.Install(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
 				t.Fatal(err)
 			}
 		}
-		time.Sleep(window)
-		st := snd.Stats()
+		c.run(window)
+		st := c.snd.Stats()
 		if summary {
 			return st.Sent["summary-refresh"]
 		}
@@ -112,24 +89,25 @@ func TestSummaryRefreshReducesDatagrams(t *testing.T) {
 // summarized key NACKs it and the sender re-triggers, reinstalling the
 // state end to end.
 func TestSummaryNackRepairsUnknownKey(t *testing.T) {
-	snd, rcv := summaryEndpoints(t, SS, 64)
-	if err := snd.Install("k", []byte("v")); err != nil {
+	c := vSummaryEndpoints(t, SS, 64)
+	if err := c.snd.Install("k", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
+	c.within(time.Second, "install", func() bool { _, ok := c.rcv.Get("k"); return ok })
 	// Tear the state down at the receiver only: expiry is silent for SS
 	// (no notify), so only the summary NACK path can repair it.
-	for _, ck := range rcv.matches("k") {
-		rcv.tbl.Delete(ck)
+	for _, ck := range c.rcv.matches("k") {
+		c.rcv.idx.remove("k", ck)
+		c.rcv.tbl.Delete(ck)
 	}
-	if _, ok := rcv.Get("k"); ok {
+	if _, ok := c.rcv.Get("k"); ok {
 		t.Fatal("test setup: key still installed")
 	}
-	eventually(t, "NACK-driven reinstall", func() bool { _, ok := rcv.Get("k"); return ok })
-	if snd.Stats().Received["summary-nack"] == 0 {
+	c.within(time.Second, "NACK-driven reinstall", func() bool { _, ok := c.rcv.Get("k"); return ok })
+	if c.snd.Stats().Received["summary-nack"] == 0 {
 		t.Fatal("sender saw no summary NACK")
 	}
-	if rcv.Stats().Sent["summary-nack"] == 0 {
+	if c.rcv.Stats().Sent["summary-nack"] == 0 {
 		t.Fatal("receiver sent no summary NACK")
 	}
 }
@@ -137,20 +115,20 @@ func TestSummaryNackRepairsUnknownKey(t *testing.T) {
 // TestSummaryChunking: more keys than SummaryMaxKeys are spread across
 // several datagrams per sweep, all of which renew state.
 func TestSummaryChunking(t *testing.T) {
-	snd, rcv := summaryEndpoints(t, SS, 8)
+	c := vSummaryEndpoints(t, SS, 8)
 	const keys = 50 // ⌈50/8⌉ = 7 datagrams per sweep
 	for i := 0; i < keys; i++ {
-		if err := snd.Install(fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+		if err := c.snd.Install(fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	eventually(t, "all installs", func() bool { return rcv.Len() == keys })
-	sent := snd.summarySweep()
+	c.within(time.Second, "all installs", func() bool { return c.rcv.Len() == keys })
+	sent := c.snd.summarySweep()
 	if want := (keys + 7) / 8; sent != want {
 		t.Fatalf("sweep sent %d datagrams, want %d", sent, want)
 	}
-	time.Sleep(4 * fastConfig(SS).Timeout)
-	if got := rcv.Len(); got != keys {
+	c.run(4 * fastConfig(SS).Timeout)
+	if got := c.rcv.Len(); got != keys {
 		t.Fatalf("receiver holds %d of %d keys", got, keys)
 	}
 }
@@ -158,17 +136,17 @@ func TestSummaryChunking(t *testing.T) {
 // TestSummaryRemovedKeyNotRenewed: a key being removed must not ride
 // along in summary sweeps and spuriously survive at the receiver.
 func TestSummaryRemovedKeyNotRenewed(t *testing.T) {
-	snd, rcv := summaryEndpoints(t, SS, 64)
-	snd.Install("stay", []byte("v"))
-	snd.Install("go", []byte("v"))
-	eventually(t, "installs", func() bool { return rcv.Len() == 2 })
-	if err := snd.Remove("go"); err != nil {
+	c := vSummaryEndpoints(t, SS, 64)
+	c.snd.Install("stay", []byte("v"))
+	c.snd.Install("go", []byte("v"))
+	c.within(time.Second, "installs", func() bool { return c.rcv.Len() == 2 })
+	if err := c.snd.Remove("go"); err != nil {
 		t.Fatal(err)
 	}
 	// SS removal is silent: the receiver must time "go" out even while
 	// summaries keep renewing "stay".
-	eventually(t, "timeout of removed key", func() bool { _, ok := rcv.Get("go"); return !ok })
-	if _, ok := rcv.Get("stay"); !ok {
+	c.within(time.Second, "timeout of removed key", func() bool { _, ok := c.rcv.Get("go"); return !ok })
+	if _, ok := c.rcv.Get("stay"); !ok {
 		t.Fatal("summary stopped renewing the surviving key")
 	}
 }
@@ -178,30 +156,37 @@ func TestSummaryRemovedKeyNotRenewed(t *testing.T) {
 // (mirroring the stale-trigger guard), so state whose owner stopped
 // refreshing still expires under a stream of stale summaries.
 func TestStaleSummaryDoesNotRenew(t *testing.T) {
-	a, b, err := lossy.Pipe(lossy.Config{})
+	v := clock.NewVirtual() // receiver-only: this test writes raw datagrams
+	a, b, err := lossy.Pipe(lossy.Config{Clock: v})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer a.Close()
 	cfg := fastConfig(SS)
+	cfg.Clock = v
 	rcv, err := NewReceiver(b, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rcv.Close()
 	a.WriteTo(mustEncode(t, 5, "k", []byte("v")), nil)
-	eventually(t, "install", func() bool { _, ok := rcv.Get("k"); return ok })
+	if !v.RunUntil(func() bool { _, ok := rcv.Get("k"); return ok }, time.Millisecond, time.Second) {
+		t.Fatal("install never landed")
+	}
 	staleMsg := wire.Message{Type: wire.TypeSummaryRefresh, Seq: 4, Keys: []string{"k"}}
 	stale, err := staleMsg.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Keep replaying the stale summary; the state must still time out.
-	eventually(t, "expiry despite stale summaries", func() bool {
+	ok := v.RunUntil(func() bool {
 		a.WriteTo(stale, nil)
-		_, ok := rcv.Get("k")
-		return !ok
-	})
+		_, held := rcv.Get("k")
+		return !held
+	}, time.Millisecond, time.Second)
+	if !ok {
+		t.Fatal("state survived on stale summaries alone")
+	}
 	if rcv.Stats().Received["summary-refresh"] == 0 {
 		t.Fatal("test delivered no summaries")
 	}
@@ -210,13 +195,13 @@ func TestStaleSummaryDoesNotRenew(t *testing.T) {
 // TestSummaryRefreshCrossesProtocols: summary refresh composes with
 // reliable-trigger protocols (acks still flow for triggers).
 func TestSummaryRefreshCrossesProtocols(t *testing.T) {
-	snd, rcv := summaryEndpoints(t, SSRT, 64)
-	snd.Install("k", []byte("v"))
-	eventually(t, "install+ack", func() bool {
-		return snd.Stats().Received["ack"] > 0 && rcv.Len() == 1
+	c := vSummaryEndpoints(t, SSRT, 64)
+	c.snd.Install("k", []byte("v"))
+	c.within(time.Second, "install+ack", func() bool {
+		return c.snd.Stats().Received["ack"] > 0 && c.rcv.Len() == 1
 	})
-	time.Sleep(4 * fastConfig(SSRT).Timeout)
-	if rcv.Len() != 1 {
+	c.run(4 * fastConfig(SSRT).Timeout)
+	if c.rcv.Len() != 1 {
 		t.Fatal("state expired under SSRT summary refresh")
 	}
 }

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"softstate/internal/clock"
+	"softstate/internal/lossy"
+	livenode "softstate/internal/node"
+	"softstate/internal/signal"
+)
+
+// FanoutConfig parameterizes a virtual-time fan-out run: one real
+// node.Node maintaining Keys keys at each of Peers receivers over an
+// in-memory lossy switch, all inside one virtual clock — the 64-peer ×
+// 16k-key regime of the node benchmarks, but deterministic and with the
+// refresh windows simulated instead of slept.
+type FanoutConfig struct {
+	Peers int
+	Keys  int // per peer
+	// Protocol defaults to SS; summary refresh defaults on (that is the
+	// scaling configuration the node subsystem exists for).
+	Protocol        signal.Protocol
+	RefreshInterval time.Duration // default 100 ms
+	Timeout         time.Duration // default 3R
+	SummaryMaxKeys  int           // default 64
+	Shards          int           // default 16
+	Loss            float64
+	Delay           time.Duration
+	Duration        time.Duration // virtual run length after install; default 3R
+	Seed            uint64
+}
+
+func (cfg *FanoutConfig) applyDefaults() error {
+	if cfg.Peers <= 0 || cfg.Keys <= 0 {
+		return fmt.Errorf("sim: fan-out needs Peers and Keys > 0")
+	}
+	if cfg.RefreshInterval <= 0 {
+		cfg.RefreshInterval = 100 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 3 * cfg.RefreshInterval
+	}
+	if cfg.SummaryMaxKeys <= 0 {
+		cfg.SummaryMaxKeys = 64
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * cfg.RefreshInterval
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0xfa2007
+	}
+	return nil
+}
+
+// FanoutResult aggregates a fan-out run.
+type FanoutResult struct {
+	Peers, Keys int
+	// Held is the total (peer, key) state held across receivers at the
+	// end — Peers×Keys when refresh kept everything alive.
+	Held int
+	// SummaryDatagrams is how many summary refreshes the receivers took;
+	// KeysRenewed is the key renewals they carried (sweep-average exact:
+	// delivered datagrams × Keys / ⌈Keys/SummaryMaxKeys⌉).
+	SummaryDatagrams int
+	KeysRenewed      int
+	// Datagrams is every datagram sent by the node (installs included).
+	Datagrams int
+	// KeysPerDatagram is the refresh-path reduction actually achieved:
+	// key renewals delivered per summary datagram sent.
+	KeysPerDatagram float64
+}
+
+// liveFanout is the live topology, shared by RunLiveFanout and the
+// throughput benchmark.
+type liveFanout struct {
+	clk   *clock.Virtual
+	cfg   FanoutConfig
+	node  *livenode.Node
+	rcvs  []*signal.Receiver
+	addrs []net.Addr
+}
+
+// buildLiveFanout wires the node and its receivers and installs every key
+// (running virtual time forward until all installs have landed).
+func buildLiveFanout(cfg FanoutConfig) (*liveFanout, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	v := clock.NewVirtual()
+	nw, err := lossy.NewNetwork(lossy.Config{
+		Loss: cfg.Loss, Delay: cfg.Delay, Seed: cfg.Seed ^ 0x11ce, Clock: v,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scfg := signal.Config{
+		Protocol:        cfg.Protocol,
+		RefreshInterval: cfg.RefreshInterval,
+		Timeout:         cfg.Timeout,
+		SummaryRefresh:  true,
+		SummaryMaxKeys:  cfg.SummaryMaxKeys,
+		Shards:          cfg.Shards,
+		Clock:           v,
+	}
+	f := &liveFanout{clk: v, cfg: cfg}
+	n, err := livenode.New(nw.Endpoint("node"), scfg)
+	if err != nil {
+		return nil, err
+	}
+	f.node = n
+	for p := 0; p < cfg.Peers; p++ {
+		conn := nw.Endpoint(fmt.Sprintf("peer%04d", p))
+		f.addrs = append(f.addrs, conn.LocalAddr())
+		rcv, err := signal.NewReceiver(conn, scfg)
+		if err != nil {
+			f.close()
+			return nil, err
+		}
+		f.rcvs = append(f.rcvs, rcv)
+	}
+	for p := 0; p < cfg.Peers; p++ {
+		for k := 0; k < cfg.Keys; k++ {
+			if err := n.Install(f.addrs[p], fmt.Sprintf("flow/%05d", k), nil); err != nil {
+				f.close()
+				return nil, err
+			}
+		}
+	}
+	v.Run(2 * cfg.Delay) // drain the install burst
+	return f, nil
+}
+
+func (f *liveFanout) close() {
+	if f.node != nil {
+		f.node.Close()
+	}
+	for _, r := range f.rcvs {
+		r.Close()
+	}
+}
+
+// held sums the (peer, key) entries across receivers.
+func (f *liveFanout) held() int {
+	total := 0
+	for _, r := range f.rcvs {
+		total += r.Len()
+	}
+	return total
+}
+
+// RunLiveFanout builds the topology, runs Duration of virtual time, and
+// reports how summary refresh carried the key population.
+func RunLiveFanout(cfg FanoutConfig) (FanoutResult, error) {
+	f, err := buildLiveFanout(cfg)
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	defer f.close()
+	f.clk.Run(f.cfg.Duration)
+	res := FanoutResult{Peers: f.cfg.Peers, Keys: f.cfg.Keys, Held: f.held()}
+	for _, r := range f.rcvs {
+		res.SummaryDatagrams += r.Stats().Received["summary-refresh"]
+	}
+	// One sweep renews a peer's Keys keys in ⌈Keys/SummaryMaxKeys⌉
+	// datagrams (the tail chunk is partial), so renewals per datagram is
+	// the sweep average, not SummaryMaxKeys.
+	chunks := (f.cfg.Keys + f.cfg.SummaryMaxKeys - 1) / f.cfg.SummaryMaxKeys
+	res.KeysRenewed = res.SummaryDatagrams * f.cfg.Keys / chunks
+	st := f.node.Stats()
+	res.Datagrams = st.TotalSent()
+	if sent := st.Sent["summary-refresh"]; sent > 0 {
+		res.KeysPerDatagram = float64(res.KeysRenewed) / float64(sent)
+	}
+	return res, nil
+}

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"softstate/internal/clock"
+	"softstate/internal/lossy"
+	livenode "softstate/internal/node"
+	"softstate/internal/rand"
+	"softstate/internal/signal"
+)
+
+// This file is the virtual-time harness for the *real* runtime: where the
+// rest of internal/sim re-implements the protocols as abstract state
+// machines, RunLive instantiates actual signal.Sender / signal.Receiver /
+// node.Chain endpoints — goroutine read loops, sharded state tables,
+// summary refresh, ack coalescing, the full wire codec — over lossy pipes,
+// and drives everything from one clock.Virtual. The paper's experiments
+// (signaling-state consistency vs. loss, delay, refresh interval) thus run
+// on the production code path: deterministically (same seed → identical
+// LiveResult), at simulated hours of protocol time in wall milliseconds,
+// with no time.Sleep anywhere.
+
+// LiveConfig parameterizes one virtual-time run of the real stack.
+type LiveConfig struct {
+	// Protocol selects the mechanism bundle.
+	Protocol signal.Protocol
+	// Hops is the number of state-holding links: 1 runs Sender→Receiver
+	// over one lossy pipe; ≥2 runs a node.Chain of Hops+1 nodes (origin,
+	// Hops-1 relays, tail receiver), every link independently impaired.
+	Hops int
+	// Keys is the number of concurrently signaled keys.
+	Keys int
+	// Loss, Delay, Jitter impair every link.
+	Loss   float64
+	Delay  time.Duration
+	Jitter time.Duration
+	// RefreshInterval, Timeout, Retransmit are the protocol timers
+	// (defaults R = 100 ms, T = 3R, Γ = 25 ms — the paper's deployed
+	// ratios, scaled so a 30 s virtual run spans hundreds of refreshes).
+	RefreshInterval time.Duration
+	Timeout         time.Duration
+	Retransmit      time.Duration
+	// SummaryRefresh and CoalesceAcks enable the RFC 2961-style batching
+	// paths on every endpoint.
+	SummaryRefresh bool
+	CoalesceAcks   bool
+	// Shards is the per-endpoint state-table shard count (default 4).
+	Shards int
+	// MeanLifetime, when positive, removes each key after an exponential
+	// installed lifetime; MeanGap, when positive, reinstalls it (with a
+	// fresh version) an exponential gap later. Zero lifetimes make keys
+	// immortal — the pure refresh-traffic regime.
+	MeanLifetime time.Duration
+	MeanGap      time.Duration
+	// MeanFalseSignal, when positive, fires the paper's external false
+	// removal signal at the tail for a random held key, exponentially
+	// distributed with this mean — the failure HS must repair.
+	MeanFalseSignal time.Duration
+	// Duration is the virtual experiment length (default 30 s).
+	Duration time.Duration
+	// Sample is the consistency sampling period (default RefreshInterval/2).
+	Sample time.Duration
+	// Seed makes the run reproducible; runs with equal seeds produce
+	// byte-identical LiveResults.
+	Seed uint64
+}
+
+func (cfg *LiveConfig) applyDefaults() error {
+	if cfg.Hops <= 0 {
+		cfg.Hops = 1
+	}
+	if cfg.Keys <= 0 {
+		return fmt.Errorf("sim: live run needs Keys > 0")
+	}
+	if cfg.RefreshInterval <= 0 {
+		cfg.RefreshInterval = 100 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 3 * cfg.RefreshInterval
+	}
+	if cfg.Retransmit <= 0 {
+		cfg.Retransmit = 25 * time.Millisecond
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.Sample <= 0 {
+		cfg.Sample = cfg.RefreshInterval / 2
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5057a7e
+	}
+	return nil
+}
+
+// LiveResult aggregates one virtual-time run. Every field is a pure
+// function of the LiveConfig, so reflect.DeepEqual across same-seed runs
+// is the determinism check.
+type LiveResult struct {
+	Protocol signal.Protocol
+	Hops     int
+	Keys     int
+	Loss     float64
+
+	// Inconsistency is the sampled fraction of (key, time) in which the
+	// tail endpoint disagreed with the origin's intent — the live
+	// counterpart of the paper's I metric (eq. 1), measured end to end
+	// across all hops.
+	Inconsistency       float64
+	Samples             int
+	InconsistentSamples int
+
+	// Datagrams counts every datagram sent by every endpoint (both
+	// directions, all hops); Rate normalizes it per key per virtual
+	// second — the live counterpart of the paper's Λ.
+	Datagrams int
+	Rate      float64
+	// Sent aggregates per-wire-type datagram counts across all endpoints.
+	Sent map[string]int
+
+	// KeyEvents counts workload transitions driven (installs + removals +
+	// false-signal injections).
+	KeyEvents int
+	// VirtualSeconds is the simulated duration.
+	VirtualSeconds float64
+}
+
+// liveStack abstracts the two topologies under one workload driver.
+type liveStack struct {
+	install func(key string, value []byte) error
+	remove  func(key string) error
+	tailGet func(key string) ([]byte, bool)
+	inject  func(key string) bool
+	stats   func() []signal.Stats
+	close   func()
+}
+
+// RunLive executes one experiment on the real runtime in virtual time.
+func RunLive(cfg LiveConfig) (LiveResult, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return LiveResult{}, err
+	}
+	v := clock.NewVirtual()
+	scfg := signal.Config{
+		Protocol:        cfg.Protocol,
+		RefreshInterval: cfg.RefreshInterval,
+		Timeout:         cfg.Timeout,
+		Retransmit:      cfg.Retransmit,
+		SummaryRefresh:  cfg.SummaryRefresh,
+		CoalesceAcks:    cfg.CoalesceAcks,
+		Shards:          cfg.Shards,
+		Clock:           v,
+	}
+	link := lossy.Config{
+		Loss:   cfg.Loss,
+		Delay:  cfg.Delay,
+		Jitter: cfg.Jitter,
+		Seed:   cfg.Seed ^ 0x11ce, // distinct stream from the workload rng
+		Clock:  v,
+	}
+	stack, err := buildLiveStack(cfg, scfg, link)
+	if err != nil {
+		return LiveResult{}, err
+	}
+	defer stack.close()
+
+	res := LiveResult{Protocol: cfg.Protocol, Hops: cfg.Hops, Keys: cfg.Keys, Loss: cfg.Loss}
+	rng := rand.NewSource(cfg.Seed)
+	intent := make([][]byte, cfg.Keys) // nil = removed; the origin's truth
+	version := make([]int, cfg.Keys)
+	keyName := func(k int) string { return fmt.Sprintf("flow/%05d", k) }
+
+	expDelay := func(mean time.Duration) time.Duration {
+		return time.Duration(rng.Exp(mean.Seconds()) * float64(time.Second))
+	}
+
+	// Workload: install every key (staggered across one refresh interval
+	// so wheel ticks don't all collide), then churn each through
+	// exponential remove/reinstall cycles.
+	var churn func(k int)
+	doInstall := func(k int) {
+		val := []byte(fmt.Sprintf("v%d.%d", k, version[k]))
+		version[k]++
+		if stack.install(keyName(k), val) == nil {
+			intent[k] = val
+			res.KeyEvents++
+		}
+		churn(k)
+	}
+	churn = func(k int) {
+		if cfg.MeanLifetime <= 0 {
+			return
+		}
+		v.AfterFunc(expDelay(cfg.MeanLifetime), func() {
+			if intent[k] == nil {
+				return
+			}
+			if stack.remove(keyName(k)) == nil {
+				intent[k] = nil
+				res.KeyEvents++
+			}
+			if cfg.MeanGap > 0 {
+				v.AfterFunc(expDelay(cfg.MeanGap), func() { doInstall(k) })
+			}
+		})
+	}
+	for k := 0; k < cfg.Keys; k++ {
+		k := k
+		v.AfterFunc(time.Duration(k)*cfg.RefreshInterval/time.Duration(cfg.Keys),
+			func() { doInstall(k) })
+	}
+
+	// False external removal signal (the hard-state failure mode): fire at
+	// the tail against a random key, repeatedly.
+	if cfg.MeanFalseSignal > 0 {
+		var falseSig func()
+		falseSig = func() {
+			k := rng.Intn(cfg.Keys)
+			if stack.inject(keyName(k)) {
+				res.KeyEvents++
+			}
+			v.AfterFunc(expDelay(cfg.MeanFalseSignal), falseSig)
+		}
+		v.AfterFunc(expDelay(cfg.MeanFalseSignal), falseSig)
+	}
+
+	// Consistency sampling: every Sample, compare the tail's view of each
+	// key against the origin's intent.
+	var sample func()
+	sample = func() {
+		for k := 0; k < cfg.Keys; k++ {
+			got, ok := stack.tailGet(keyName(k))
+			want := intent[k]
+			res.Samples++
+			if ok != (want != nil) || (ok && !bytes.Equal(got, want)) {
+				res.InconsistentSamples++
+			}
+		}
+		v.AfterFunc(cfg.Sample, sample)
+	}
+	v.AfterFunc(cfg.Sample, sample)
+
+	v.Run(cfg.Duration)
+
+	res.Sent = make(map[string]int)
+	for _, st := range stack.stats() {
+		for typ, n := range st.Sent {
+			res.Sent[typ] += n
+		}
+		res.Datagrams += st.TotalSent()
+	}
+	res.VirtualSeconds = cfg.Duration.Seconds()
+	res.Rate = float64(res.Datagrams) / float64(cfg.Keys) / res.VirtualSeconds
+	if res.Samples > 0 {
+		res.Inconsistency = float64(res.InconsistentSamples) / float64(res.Samples)
+	}
+	return res, nil
+}
+
+// buildLiveStack wires the endpoints for the configured hop count.
+func buildLiveStack(cfg LiveConfig, scfg signal.Config, link lossy.Config) (*liveStack, error) {
+	if cfg.Hops == 1 {
+		a, b, err := lossy.Pipe(link)
+		if err != nil {
+			return nil, err
+		}
+		snd, err := signal.NewSender(a, b.LocalAddr(), scfg)
+		if err != nil {
+			return nil, err
+		}
+		rcv, err := signal.NewReceiver(b, scfg)
+		if err != nil {
+			snd.Close()
+			return nil, err
+		}
+		from := a.LocalAddr()
+		return &liveStack{
+			install: snd.Install,
+			remove:  snd.Remove,
+			tailGet: func(key string) ([]byte, bool) { return rcv.GetFrom(from, key) },
+			inject:  rcv.InjectFalseRemoval,
+			stats:   func() []signal.Stats { return []signal.Stats{snd.Stats(), rcv.Stats()} },
+			close: func() {
+				snd.Close()
+				rcv.Close()
+			},
+		}, nil
+	}
+	c, err := livenode.NewChain(cfg.Hops+1, scfg, link)
+	if err != nil {
+		return nil, err
+	}
+	return &liveStack{
+		install: c.Install,
+		remove:  c.Remove,
+		tailGet: c.Tail.Get,
+		inject:  c.Tail.InjectFalseRemoval,
+		stats: func() []signal.Stats {
+			out := []signal.Stats{c.Origin.Stats()}
+			for _, r := range c.Relays {
+				out = append(out, r.Receiver().Stats(), r.Downstream().Stats())
+			}
+			out = append(out, c.Tail.Stats())
+			return out
+		},
+		close: func() { c.Close() },
+	}, nil
+}
+
+// ConsistencyVsLoss sweeps the loss rate, one RunLive per point — the
+// live-stack version of the paper's consistency-versus-loss figures. All
+// other parameters come from base.
+func ConsistencyVsLoss(base LiveConfig, losses []float64) ([]LiveResult, error) {
+	out := make([]LiveResult, 0, len(losses))
+	for _, p := range losses {
+		cfg := base
+		cfg.Loss = p
+		r, err := RunLive(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"softstate/internal/clock"
 )
 
 // TimerKind selects one of an entry's independent timer slots.
@@ -52,6 +54,13 @@ type Config[V any] struct {
 	// OnExpire handles timer expiry. A Table without it still works as a
 	// plain sharded map, but scheduled timers fire into nothing.
 	OnExpire ExpireFunc[V]
+	// Clock is the time source driving the wheels (clock.System when nil).
+	// Under clock.System each shard runs its own sleep-loop goroutine;
+	// under a virtual clock the shards are event-driven — each wheel
+	// advance is a clock timer callback on the simulation driver, so a
+	// table holds millions of deadlines with zero goroutines and zero wall
+	// sleeps.
+	Clock clock.Clock
 }
 
 // entry is one key's slot: the caller's value plus the embedded timers.
@@ -68,21 +77,25 @@ type shard[V any] struct {
 	wheel    wheel[V]
 	nextWake int64 // absolute tick the wheel goroutine sleeps until
 	needPoke bool  // a deadline earlier than nextWake was scheduled
+	pokeTick int64 // earliest such deadline (virtual mode reschedules to it)
 	wake     chan struct{}
+	vtimer   clock.Timer // virtual mode: drives this shard's wheel advances
 }
 
 // Table is the sharded soft-state table. All methods are safe for
 // concurrent use.
 type Table[V any] struct {
-	cfg    Config[V]
-	tick   time.Duration
-	start  time.Time
-	shards []shard[V]
-	mask   uint32
-	size   atomic.Int64
-	done   chan struct{}
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	cfg     Config[V]
+	clk     clock.Clock
+	virtual bool
+	tick    time.Duration
+	start   time.Time
+	shards  []shard[V]
+	mask    uint32
+	size    atomic.Int64
+	done    chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
 }
 
 // New creates a table and starts its shard goroutines.
@@ -99,23 +112,38 @@ func New[V any](cfg Config[V]) *Table[V] {
 	if tick <= 0 {
 		tick = DefaultTick
 	}
+	clk := clock.Or(cfg.Clock)
 	t := &Table[V]{
-		cfg:    cfg,
-		tick:   tick,
-		start:  time.Now(),
-		shards: make([]shard[V], shards),
-		mask:   uint32(shards - 1),
-		done:   make(chan struct{}),
+		cfg:     cfg,
+		clk:     clk,
+		virtual: clk.Virtual(),
+		tick:    tick,
+		start:   clk.Now(),
+		shards:  make([]shard[V], shards),
+		mask:    uint32(shards - 1),
+		done:    make(chan struct{}),
 	}
 	for i := range t.shards {
 		sh := &t.shards[i]
 		sh.entries = make(map[string]*entry[V])
 		sh.nextWake = int64(1)<<62 - 1
 		sh.wake = make(chan struct{}, 1)
+		if t.virtual {
+			// Event-driven: the clock calls fireShard at each due tick; no
+			// goroutine, no sleeps. The timer is armed by unlockAndPoke the
+			// first time a deadline is scheduled.
+			sh.vtimer = clk.NewTimer(t.shardFirer(sh))
+			continue
+		}
 		t.wg.Add(1)
 		go t.runShard(sh)
 	}
 	return t
+}
+
+// shardFirer binds fireShard to one shard for the virtual clock.
+func (t *Table[V]) shardFirer(sh *shard[V]) func() {
+	return func() { t.fireShard(sh) }
 }
 
 // NumShards returns the (power-of-two) shard count.
@@ -126,12 +154,20 @@ func (t *Table[V]) Len() int { return int(t.size.Load()) }
 
 // Close stops the shard goroutines and waits for in-flight expiry
 // callbacks to finish. Timers never fire after Close returns; the map
-// contents remain readable.
+// contents remain readable. In virtual mode Close must run on the clock's
+// driver goroutine (fireShard re-checks the closed flag under the shard
+// lock for the pending-callback race).
 func (t *Table[V]) Close() {
 	if t.closed.Swap(true) {
 		return
 	}
 	close(t.done)
+	if t.virtual {
+		for i := range t.shards {
+			t.shards[i].vtimer.Stop()
+		}
+		return
+	}
 	t.wg.Wait()
 }
 
@@ -151,9 +187,9 @@ func (t *Table[V]) shardOf(key string) *shard[V] {
 	return &t.shards[Hash32(key)&t.mask]
 }
 
-// tickNow converts wall-clock progress to wheel ticks.
+// tickNow converts clock progress to wheel ticks.
 func (t *Table[V]) tickNow() int64 {
-	return int64(time.Since(t.start) / t.tick)
+	return int64(t.clk.Since(t.start) / t.tick)
 }
 
 // deadlineTick converts a relative delay to an absolute tick, rounding up
@@ -162,7 +198,7 @@ func (t *Table[V]) deadlineTick(delay time.Duration) int64 {
 	if delay < 0 {
 		delay = 0
 	}
-	return int64((time.Since(t.start) + delay + t.tick - 1) / t.tick)
+	return int64((t.clk.Since(t.start) + delay + t.tick - 1) / t.tick)
 }
 
 // Upsert locks the key's shard and calls fn with the entry's value,
@@ -275,9 +311,21 @@ func (t *Table[V]) dropLocked(sh *shard[V], e *entry[V]) {
 	t.size.Add(-1)
 }
 
-// unlockAndPoke releases the shard and wakes its wheel goroutine if an
-// earlier deadline was scheduled while the lock was held.
+// unlockAndPoke releases the shard and wakes its wheel driver if an
+// earlier deadline was scheduled while the lock was held: in wall mode a
+// channel poke to the shard goroutine, in virtual mode a timer reset to
+// the new earliest tick (the clock serializes the callback against other
+// events, so no goroutine is needed).
 func (t *Table[V]) unlockAndPoke(sh *shard[V]) {
+	if t.virtual {
+		if sh.needPoke {
+			sh.needPoke = false
+			sh.nextWake = sh.pokeTick
+			sh.vtimer.Reset(t.start.Add(time.Duration(sh.pokeTick) * t.tick).Sub(t.clk.Now()))
+		}
+		sh.mu.Unlock()
+		return
+	}
 	poke := sh.needPoke
 	sh.needPoke = false
 	sh.mu.Unlock()
@@ -315,6 +363,9 @@ func (tc TimerControl[V]) Schedule(kind TimerKind, delay time.Duration) {
 	}
 	tc.sh.wheel.schedule(n, tc.t.deadlineTick(delay))
 	if n.deadline < tc.sh.nextWake {
+		if !tc.sh.needPoke || n.deadline < tc.sh.pokeTick {
+			tc.sh.pokeTick = n.deadline
+		}
 		tc.sh.needPoke = true
 	}
 }
@@ -329,38 +380,63 @@ func (tc TimerControl[V]) Delete() {
 	tc.t.dropLocked(tc.sh, tc.e)
 }
 
-// runShard is the shard's wheel goroutine: it advances the wheel to the
-// current tick, fires expired timers, and sleeps until the next event.
+// advanceLocked moves the shard's wheel to the current tick and runs the
+// expiry callbacks of everything due; callers hold sh.mu. It then records
+// the shard's next wake tick and returns the wall-clock wait until it (0
+// when idle, reported separately).
+func (t *Table[V]) advanceLocked(sh *shard[V]) (wait time.Duration, idle bool) {
+	fired := sh.wheel.advance(t.tickNow())
+	for fired != nil {
+		n := fired
+		fired = n.qnext
+		n.qnext = nil
+		if n.state != timerQueued {
+			continue // cancelled or rescheduled while queued
+		}
+		n.state = timerIdle
+		if t.cfg.OnExpire != nil {
+			e := n.owner
+			t.cfg.OnExpire(e.key, n.kind, &e.value, TimerControl[V]{t: t, sh: sh, e: e})
+		}
+	}
+	idle = sh.wheel.count == 0
+	if idle {
+		sh.nextWake = int64(1)<<62 - 1
+	} else {
+		next := sh.wheel.nextEventTick()
+		sh.nextWake = next
+		wait = t.start.Add(time.Duration(next) * t.tick).Sub(t.clk.Now())
+	}
+	sh.needPoke = false
+	return wait, idle
+}
+
+// fireShard is the virtual-mode wheel driver: the clock calls it on the
+// simulation goroutine at each due tick; it advances the wheel and arms
+// the timer for the next one. An idle shard arms nothing — the next
+// Schedule re-arms via unlockAndPoke.
+func (t *Table[V]) fireShard(sh *shard[V]) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t.closed.Load() {
+		return // Close raced a callback already popped by the driver
+	}
+	wait, idle := t.advanceLocked(sh)
+	if !idle {
+		sh.vtimer.Reset(wait)
+	}
+}
+
+// runShard is the shard's wall-mode wheel goroutine: it advances the wheel
+// to the current tick, fires expired timers, and sleeps until the next
+// event.
 func (t *Table[V]) runShard(sh *shard[V]) {
 	defer t.wg.Done()
 	sleep := time.NewTimer(time.Hour)
 	defer sleep.Stop()
 	for {
 		sh.mu.Lock()
-		fired := sh.wheel.advance(t.tickNow())
-		for fired != nil {
-			n := fired
-			fired = n.qnext
-			n.qnext = nil
-			if n.state != timerQueued {
-				continue // cancelled or rescheduled while queued
-			}
-			n.state = timerIdle
-			if t.cfg.OnExpire != nil {
-				e := n.owner
-				t.cfg.OnExpire(e.key, n.kind, &e.value, TimerControl[V]{t: t, sh: sh, e: e})
-			}
-		}
-		var wait time.Duration
-		idle := sh.wheel.count == 0
-		if idle {
-			sh.nextWake = int64(1)<<62 - 1
-		} else {
-			next := sh.wheel.nextEventTick()
-			sh.nextWake = next
-			wait = t.start.Add(time.Duration(next) * t.tick).Sub(time.Now())
-		}
-		sh.needPoke = false
+		wait, idle := t.advanceLocked(sh)
 		sh.mu.Unlock()
 
 		if idle {
