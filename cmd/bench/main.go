@@ -1,0 +1,203 @@
+// Command bench runs the repo's headline performance benchmarks — the
+// virtual-time live fan-out, the churned single-hop experiment, and the
+// raw state-table renew path — and writes the results as a JSON
+// trajectory file (BENCH_4.json and successors), so every future PR can
+// show its perf delta against a recorded baseline instead of a number in
+// a commit message.
+//
+// Usage:
+//
+//	go run ./cmd/bench                # full-size benchmarks (the README numbers)
+//	go run ./cmd/bench -short         # scaled-down smoke run for CI
+//	go run ./cmd/bench -out BENCH.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"softstate/internal/signal"
+	"softstate/internal/sim"
+	"softstate/internal/statetable"
+)
+
+// entry is one benchmark's recorded numbers.
+type entry struct {
+	Name        string  `json:"name"`
+	Config      string  `json:"config"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	// KeysRefreshedPerSec is the headline throughput metric: simulated
+	// key renewals processed per wall-clock second.
+	KeysRefreshedPerSec float64 `json:"keys_refreshed_per_s,omitempty"`
+	// VirtualPerWallSec is how many simulated seconds one wall second
+	// buys on this workload.
+	VirtualPerWallSec float64 `json:"virtual_s_per_wall_s,omitempty"`
+}
+
+// trajectory is the whole output file.
+type trajectory struct {
+	Issue      int     `json:"issue"`
+	Generated  string  `json:"generated"`
+	Go         string  `json:"go"`
+	CPUs       int     `json:"cpus"`
+	Short      bool    `json:"short"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "run scaled-down benchmarks (CI smoke mode)")
+	out := flag.String("out", "BENCH_4.json", "output file")
+	flag.Parse()
+
+	tr := trajectory{
+		Issue:     4,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		Short:     *short,
+	}
+	tr.Benchmarks = append(tr.Benchmarks, liveFanout(*short))
+	tr.Benchmarks = append(tr.Benchmarks, singleHop(*short))
+	tr.Benchmarks = append(tr.Benchmarks, statetableRenew(*short))
+
+	data, err := json.MarshalIndent(tr, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	for _, b := range tr.Benchmarks {
+		fmt.Printf("  %-18s %s\n", b.Name, b.summary())
+	}
+}
+
+func (e entry) summary() string {
+	s := fmt.Sprintf("%.0f ns/op, %d allocs/op", e.NsPerOp, e.AllocsPerOp)
+	if e.KeysRefreshedPerSec > 0 {
+		s += fmt.Sprintf(", %.0f keys-refreshed/s", e.KeysRefreshedPerSec)
+	}
+	if e.VirtualPerWallSec > 0 {
+		s += fmt.Sprintf(", %.3f virtual-s/wall-s", e.VirtualPerWallSec)
+	}
+	return s
+}
+
+// liveFanout is the headline benchmark: one node renews Peers×Keys keys
+// per refresh interval through the full virtual-time stack (summary
+// sweep, wire codec, lossy switch, quiesce gate, receiver state tables).
+func liveFanout(short bool) entry {
+	cfg := sim.FanoutConfig{
+		Peers:           64,
+		Keys:            16384,
+		RefreshInterval: 100 * time.Millisecond,
+		Timeout:         time.Hour, // isolate refresh throughput from expiry
+	}
+	if short {
+		cfg.Peers, cfg.Keys = 8, 1024
+	}
+	h, err := sim.NewFanoutBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer h.Close()
+	r := cfg.RefreshInterval
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Run(r) // one summary sweep of every peer
+		}
+	})
+	keys := float64(h.KeysPerInterval())
+	secPerOp := float64(res.NsPerOp()) / float64(time.Second)
+	return entry{
+		Name:                "live-fanout",
+		Config:              fmt.Sprintf("%d peers x %d keys, R=%s", cfg.Peers, cfg.Keys, r),
+		NsPerOp:             float64(res.NsPerOp()),
+		AllocsPerOp:         uint64(res.AllocsPerOp()),
+		BytesPerOp:          uint64(res.AllocedBytesPerOp()),
+		KeysRefreshedPerSec: keys / secPerOp,
+		VirtualPerWallSec:   r.Seconds() / secPerOp,
+	}
+}
+
+// singleHop runs one virtual second of the churned single-hop consistency
+// experiment per op — loss, jitter, churn, false signals, acks.
+func singleHop(short bool) entry {
+	base := sim.LiveConfig{
+		Protocol:        signal.SSRT,
+		Hops:            1,
+		Keys:            64,
+		Loss:            0.1,
+		Delay:           2 * time.Millisecond,
+		RefreshInterval: 100 * time.Millisecond,
+		MeanLifetime:    3 * time.Second,
+		MeanGap:         time.Second,
+		Seed:            9,
+	}
+	if short {
+		base.Keys = 16
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		cfg := base
+		cfg.Duration = time.Duration(b.N) * time.Second
+		if _, err := sim.RunLive(cfg); err != nil {
+			b.Fatal(err)
+		}
+	})
+	secPerOp := float64(res.NsPerOp()) / float64(time.Second)
+	return entry{
+		Name:              "single-hop-events",
+		Config:            fmt.Sprintf("%d keys, loss=%.2f, churned", base.Keys, base.Loss),
+		NsPerOp:           float64(res.NsPerOp()),
+		AllocsPerOp:       uint64(res.AllocsPerOp()),
+		BytesPerOp:        uint64(res.AllocedBytesPerOp()),
+		VirtualPerWallSec: 1 / secPerOp,
+	}
+}
+
+// statetableRenew measures the raw table renew path every summary key
+// rides: byte-key lookup plus timer reschedule on the shard wheel.
+func statetableRenew(short bool) entry {
+	n := 1 << 20
+	if short {
+		n = 1 << 14
+	}
+	tbl := statetable.New(statetable.Config[int]{Shards: 16, OnExpire: func(string, statetable.TimerKind, *int, statetable.TimerControl[int]) {}})
+	defer tbl.Close()
+	keys := make([][]byte, n)
+	for i := range keys {
+		key := fmt.Sprintf("peer\x00flow/%07d", i)
+		keys[i] = []byte(key)
+		tbl.Upsert(key, nil)
+	}
+	renew := func(_ *int, tc statetable.TimerControl[int]) { tc.Schedule(0, time.Hour) }
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl.UpdateBytes(keys[i%n], renew)
+		}
+	})
+	return entry{
+		Name:        "statetable-renew",
+		Config:      fmt.Sprintf("%d keys, 16 shards, byte-key renew", n),
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: uint64(res.AllocsPerOp()),
+		BytesPerOp:  uint64(res.AllocedBytesPerOp()),
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

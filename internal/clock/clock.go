@@ -19,6 +19,7 @@ package clock
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softstate/internal/des"
@@ -102,17 +103,20 @@ var epoch = time.Date(2003, 8, 25, 0, 0, 0, 0, time.UTC) // SIGCOMM '03
 // goroutine is mid-message. API calls on endpoints (Install, Remove,
 // Close) must happen on the driver goroutine between Run calls.
 type Virtual struct {
-	mu   sync.Mutex
-	cond *sync.Cond // signaled when busy returns to 0
-	k    *des.Kernel
-	busy int
+	mu sync.Mutex // guards the kernel (scheduling vs the driver's pops)
+	k  *des.Kernel
+
+	// The gate is deliberately outside mu: Enter and Exit are single
+	// atomic ops on the hot path (one pair per delivered datagram batch),
+	// blocking only when the driver is actually waiting for quiescence.
+	busy    atomic.Int64
+	waiting atomic.Bool   // the driver is parked in quiesce
+	idle    chan struct{} // buffered wakeup token for the parked driver
 }
 
 // NewVirtual returns a virtual clock at the epoch.
 func NewVirtual() *Virtual {
-	v := &Virtual{k: des.New()}
-	v.cond = sync.NewCond(&v.mu)
-	return v
+	return &Virtual{k: des.New(), idle: make(chan struct{}, 1)}
 }
 
 // Now returns the current virtual time.
@@ -140,7 +144,7 @@ func (v *Virtual) NewTimer(fn func()) Timer {
 	if fn == nil {
 		panic("clock: nil timer callback")
 	}
-	return &vTimer{v: v, fn: fn}
+	return &vTimer{v: v, t: v.k.NewTimer(fn)}
 }
 
 // AfterFunc returns a virtual timer armed to run fn after d.
@@ -150,10 +154,15 @@ func (v *Virtual) AfterFunc(d time.Duration, fn func()) Timer {
 	return t
 }
 
+// vTimer owns one kernel event for its whole lifetime: Reset rearms it in
+// place (resifting the pending heap node, or pushing the fired one back)
+// and Stop detaches it from the heap. A timer that is reset millions of
+// times — a state-table shard poke, an ack-flush window — therefore
+// allocates nothing after creation and leaves no cancelled tombstones to
+// bloat the kernel heap.
 type vTimer struct {
-	v  *Virtual
-	fn func()
-	ev *des.Event
+	v *Virtual
+	t *des.Timer
 }
 
 func (t *vTimer) Reset(d time.Duration) {
@@ -161,43 +170,60 @@ func (t *vTimer) Reset(d time.Duration) {
 		d = 0
 	}
 	t.v.mu.Lock()
-	defer t.v.mu.Unlock()
-	if t.ev != nil {
-		t.ev.Cancel()
-	}
-	t.ev = t.v.k.Schedule(float64(d), t.fn)
+	t.t.Reset(float64(d))
+	t.v.mu.Unlock()
 }
 
 func (t *vTimer) Stop() {
 	t.v.mu.Lock()
-	defer t.v.mu.Unlock()
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.t.Stop()
+	t.v.mu.Unlock()
 }
 
 // Enter marks one unit of induced work outstanding: a datagram or wakeup
 // has been handed to a goroutine that has not finished reacting to it.
-// Run will not fire further events until a matching Exit.
+// Run will not fire further events until a matching Exit. Enter is a
+// single atomic increment.
 func (v *Virtual) Enter() {
-	v.mu.Lock()
-	v.busy++
-	v.mu.Unlock()
+	v.busy.Add(1)
 }
 
-// Exit retires one unit of induced work.
+// Exit retires one unit of induced work, waking the driver if it emptied
+// the gate while the driver was parked waiting for quiescence.
 func (v *Virtual) Exit() {
-	v.mu.Lock()
-	v.busy--
-	if v.busy < 0 {
-		v.mu.Unlock()
+	n := v.busy.Add(-1)
+	if n < 0 {
 		panic("clock: Exit without matching Enter")
 	}
-	if v.busy == 0 {
-		v.cond.Signal()
+	if n == 0 && v.waiting.Load() {
+		select {
+		case v.idle <- struct{}{}:
+		default:
+		}
 	}
-	v.mu.Unlock()
+}
+
+// Busy returns the number of outstanding gate units — datagrams handed to
+// reader goroutines that have not finished reacting. It is 0 whenever the
+// system is quiescent; tests use it to prove Enter/Exit stay balanced.
+func (v *Virtual) Busy() int { return int(v.busy.Load()) }
+
+// quiesce blocks until the gate drains. Fast path: one atomic load. Slow
+// path: publish the waiting flag and park on the wakeup token, rechecking
+// busy after each wakeup (spurious tokens are harmless).
+func (v *Virtual) quiesce() {
+	if v.busy.Load() == 0 {
+		return
+	}
+	v.waiting.Store(true)
+	for v.busy.Load() != 0 {
+		<-v.idle
+	}
+	v.waiting.Store(false)
+	select { // drain a stale token left by a racing Exit
+	case <-v.idle:
+	default:
+	}
 }
 
 // Run advances virtual time by d, firing every due timer in deterministic
@@ -211,18 +237,18 @@ func (v *Virtual) Run(d time.Duration) {
 	}
 	v.mu.Lock()
 	horizon := v.k.Now() + float64(d)
+	v.mu.Unlock()
 	for {
-		for v.busy > 0 {
-			v.cond.Wait()
-		}
+		v.quiesce()
+		v.mu.Lock()
 		fn := v.k.PopDue(horizon)
+		v.mu.Unlock()
 		if fn == nil {
 			break
 		}
-		v.mu.Unlock()
 		fn()
-		v.mu.Lock()
 	}
+	v.mu.Lock()
 	v.k.RunUntil(horizon) // no due events remain: just advance the clock
 	v.mu.Unlock()
 }

@@ -77,6 +77,51 @@ func (k *Kernel) At(t float64, fn func()) *Event {
 	return e
 }
 
+// Rearm reschedules e to fire at absolute time t, reusing the event
+// object: if e is still pending its heap node is resifted in place, and if
+// it already fired (or was removed) it is pushed back. Either way e gets a
+// fresh sequence number, so it orders against same-time events exactly as
+// a newly created event would. This is the allocation-free form of
+// Cancel-then-At that restartable timers use: no cancelled tombstone is
+// left to bloat the heap, and no new Event is allocated.
+//
+// The caller must own e exclusively (it is the only holder of the
+// pointer); events handed to third parties must not be rearmed.
+func (k *Kernel) Rearm(e *Event, t float64) {
+	if t < k.now {
+		panic(fmt.Sprintf("des: rearming at %v before now %v", t, k.now))
+	}
+	e.time = t
+	e.seq = k.seq
+	k.seq++
+	e.cancelled = false
+	if e.index >= 0 {
+		k.fix(e.index)
+		return
+	}
+	k.push(e)
+}
+
+// Remove detaches e from the heap immediately if it is still pending —
+// unlike Cancel, which leaves a tombstone for lazy discard — and marks it
+// cancelled either way. Removing a fired or already removed event is a
+// no-op. Like Rearm, it requires exclusive ownership of e.
+func (k *Kernel) Remove(e *Event) {
+	e.cancelled = true
+	if e.index < 0 {
+		return
+	}
+	i := e.index
+	n := len(k.heap) - 1
+	k.swap(i, n)
+	k.heap[n] = nil
+	k.heap = k.heap[:n]
+	e.index = -1
+	if i < n {
+		k.fix(i)
+	}
+}
+
 // PopDue removes the next pending event if its time is ≤ horizon, advances
 // the clock to it, and returns its callback without running it. Callers
 // that need to release locks around event execution (the virtual clock in
@@ -200,8 +245,18 @@ func (k *Kernel) up(i int) {
 	}
 }
 
-func (k *Kernel) down(i int) {
+// fix restores the heap invariant after the key at index i changed in
+// place (container/heap.Fix equivalent).
+func (k *Kernel) fix(i int) {
+	if !k.down(i) {
+		k.up(i)
+	}
+}
+
+// down sinks the element at index i and reports whether it moved.
+func (k *Kernel) down(i int) bool {
 	n := len(k.heap)
+	start := i
 	for {
 		l, r := 2*i+1, 2*i+2
 		smallest := i
@@ -212,7 +267,7 @@ func (k *Kernel) down(i int) {
 			smallest = r
 		}
 		if smallest == i {
-			return
+			return i != start
 		}
 		k.swap(i, smallest)
 		i = smallest

@@ -4,9 +4,14 @@ package des
 // refresh, state-timeout, and retransmission timers of the signaling
 // protocols. Reset replaces any pending expiry, exactly like restarting a
 // protocol timer on message receipt.
+//
+// A Timer owns one Event for its whole lifetime: Reset rearms it in place
+// (resifting the heap node when pending, pushing it back when fired) and
+// Stop detaches it from the heap, so an arbitrarily long Reset/Stop
+// sequence performs zero allocations and leaves zero cancelled tombstones
+// behind.
 type Timer struct {
 	kernel *Kernel
-	fn     func()
 	ev     *Event
 }
 
@@ -15,35 +20,30 @@ func (k *Kernel) NewTimer(fn func()) *Timer {
 	if fn == nil {
 		panic("des: nil timer callback")
 	}
-	return &Timer{kernel: k, fn: fn}
+	return &Timer{kernel: k, ev: &Event{fn: fn, index: -1, cancelled: true}}
 }
 
-// Reset (re)arms the timer to fire after delay, cancelling any pending
-// expiry first.
+// Reset (re)arms the timer to fire after delay, replacing any pending
+// expiry.
 func (t *Timer) Reset(delay float64) {
-	t.Stop()
-	ev := t.kernel.Schedule(delay, func() {
-		t.ev = nil
-		t.fn()
-	})
-	t.ev = ev
+	if delay < 0 {
+		panic("des: negative timer delay")
+	}
+	t.kernel.Rearm(t.ev, t.kernel.now+delay)
 }
 
 // Stop disarms the timer. Stopping an inactive timer is a no-op.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.ev.Cancel()
-		t.ev = nil
-	}
+	t.kernel.Remove(t.ev)
 }
 
 // Active reports whether an expiry is pending.
-func (t *Timer) Active() bool { return t.ev != nil && !t.ev.Cancelled() }
+func (t *Timer) Active() bool { return t.ev.index >= 0 && !t.ev.cancelled }
 
 // Deadline returns the pending expiry time; valid only when Active.
 func (t *Timer) Deadline() float64 {
-	if t.ev == nil {
+	if !t.Active() {
 		return 0
 	}
-	return t.ev.Time()
+	return t.ev.time
 }

@@ -1,0 +1,128 @@
+package lossy
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"softstate/internal/clock"
+)
+
+// These tests prove the quiesce-gate ledger stays balanced across the
+// batched delivery handoff: every Enter is matched by an Exit for normal
+// batch draining, for a conn closed mid-batch, and for batches larger
+// than the delivery queue (which stage and feed instead of dropping).
+
+// virtualPipe builds a zero-loss virtual-time pipe.
+func virtualPipe(t *testing.T, v *clock.Virtual, unbatched bool) (a, b net.PacketConn) {
+	t.Helper()
+	a, b, err := Pipe(Config{Clock: v, Unbatched: unbatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// drainN reads exactly n datagrams then keeps reading until closed,
+// reporting the total read on the returned channel.
+func drainN(conn net.PacketConn) <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		buf := make([]byte, 2048)
+		total := 0
+		for {
+			if _, _, err := conn.ReadFrom(buf); err != nil {
+				out <- total
+				return
+			}
+			total++
+		}
+	}()
+	return out
+}
+
+func TestGateBalancedAcrossBatchHandoff(t *testing.T) {
+	for _, unbatched := range []bool{false, true} {
+		v := clock.NewVirtual()
+		a, b := virtualPipe(t, v, unbatched)
+		got := drainN(b)
+		const n = 200
+		for i := 0; i < n; i++ {
+			if _, err := a.WriteTo([]byte("datagram"), b.LocalAddr()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		v.Run(time.Millisecond) // all deliveries are due at the same instant
+		if busy := v.Busy(); busy != 0 {
+			t.Fatalf("unbatched=%v: gate not drained after batch: busy=%d", unbatched, busy)
+		}
+		b.Close()
+		a.Close()
+		if total := <-got; total != n {
+			t.Fatalf("unbatched=%v: reader got %d of %d datagrams", unbatched, total, n)
+		}
+		if busy := v.Busy(); busy != 0 {
+			t.Fatalf("unbatched=%v: gate unbalanced after close: busy=%d", unbatched, busy)
+		}
+	}
+}
+
+func TestGateBalancedOnCloseDuringBatch(t *testing.T) {
+	v := clock.NewVirtual()
+	a, b := virtualPipe(t, v, false)
+	// The reader consumes one datagram of a five-datagram batch, then
+	// closes the conn with the rest still queued: Close must release the
+	// batch's gate hold so the clock never stalls.
+	closed := make(chan struct{})
+	go func() {
+		buf := make([]byte, 2048)
+		if _, _, err := b.ReadFrom(buf); err != nil {
+			t.Error(err)
+		}
+		b.Close()
+		close(closed)
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := a.WriteTo([]byte("datagram"), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Run(time.Millisecond)
+	<-closed
+	if busy := v.Busy(); busy != 0 {
+		t.Fatalf("gate unbalanced after close-during-batch: busy=%d", busy)
+	}
+	// The clock must still advance freely.
+	done := make(chan struct{})
+	go func() { v.Run(time.Second); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("clock stalled after close-during-batch")
+	}
+	a.Close()
+}
+
+func TestBatchLargerThanQueueStagesWithoutDropping(t *testing.T) {
+	v := clock.NewVirtual()
+	a, b := virtualPipe(t, v, false)
+	got := drainN(b)
+	// Far more same-instant datagrams than the queue holds: the batch
+	// must stage the surplus and feed it at the reader's pace — exactly
+	// what per-datagram events did — rather than overflow-drop.
+	n := pipeQueueDepth + 500
+	for i := 0; i < n; i++ {
+		if _, err := a.WriteTo([]byte("datagram"), b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v.Run(time.Millisecond)
+	if busy := v.Busy(); busy != 0 {
+		t.Fatalf("gate not drained after staged batch: busy=%d", busy)
+	}
+	b.Close()
+	a.Close()
+	if total := <-got; total != n {
+		t.Fatalf("staged batch dropped datagrams: got %d of %d", total, n)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"softstate/internal/bufpool"
 	"softstate/internal/clock"
 	"softstate/internal/rand"
 )
@@ -41,6 +42,12 @@ type Config struct {
 	// Clock schedules deliveries (clock.System when nil). Pass a
 	// *clock.Virtual to run the link in simulated time.
 	Clock clock.Clock
+	// Unbatched disables same-tick delivery batching in virtual mode:
+	// every datagram becomes its own kernel event and its own quiesce-gate
+	// hold, the pre-batching semantics. It exists for the determinism
+	// regression tests that prove batched and unbatched runs produce
+	// identical results; production simulations leave it false.
+	Unbatched bool
 }
 
 func (c Config) validate() error {
@@ -101,9 +108,9 @@ func Pipe(cfg Config) (a, b net.PacketConn, err error) {
 // receivers inside a single (virtual or wall) clock domain.
 type Network struct {
 	cfg Config
-	mu  sync.Mutex
+	mu  sync.Mutex // guards rng during endpoint creation
 	rng *rand.Source
-	eps map[string]*pipeConn
+	eps sync.Map // name → *pipeConn; lock-free on the per-write route lookup
 }
 
 // NewNetwork creates an empty switch.
@@ -115,31 +122,38 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if seed == 0 {
 		seed = 0x0e171e57
 	}
-	return &Network{cfg: cfg, rng: rand.NewSource(seed), eps: make(map[string]*pipeConn)}, nil
+	return &Network{cfg: cfg, rng: rand.NewSource(seed)}, nil
 }
 
 // Endpoint creates (or returns) the endpoint named name. Datagrams written
 // on it are routed by destination address to the endpoint of that name;
 // unknown destinations are silently dropped, like an unroutable network.
 func (nw *Network) Endpoint(name string) net.PacketConn {
+	if c, ok := nw.eps.Load(name); ok {
+		return c.(*pipeConn)
+	}
 	nw.mu.Lock()
 	defer nw.mu.Unlock()
-	if c, ok := nw.eps[name]; ok {
-		return c
+	if c, ok := nw.eps.Load(name); ok {
+		return c.(*pipeConn)
 	}
 	c := newPipeConn(name, nw.cfg, nw.rng.Split())
 	c.route = nw.lookup
-	nw.eps[name] = c
+	nw.eps.Store(name, c)
 	return c
 }
 
+// lookup resolves a destination address to its endpoint. It runs on every
+// WriteTo, so it reads the endpoint table lock-free: wall-clock fan-out
+// writes from many goroutines no longer contend on a switch mutex.
 func (nw *Network) lookup(to net.Addr) *pipeConn {
 	if to == nil {
 		return nil
 	}
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	return nw.eps[to.String()]
+	if c, ok := nw.eps.Load(to.String()); ok {
+		return c.(*pipeConn)
+	}
+	return nil
 }
 
 // pipeConn is one endpoint of an in-memory pair or switch.
@@ -155,10 +169,81 @@ type pipeConn struct {
 	queue  chan packet // never closed; done signals shutdown instead
 	done   chan struct{}
 	closed bool
-	handed int // virtual mode: datagrams returned to the reader, not yet retired
+
+	// Virtual-mode gate ledger. Deliveries due at the same virtual instant
+	// coalesce into one delivBatch, one kernel event, and one gate hold:
+	// gateHeld is that hold, unretired counts the datagrams in the queue
+	// or in the reader's hands, and handed counts the ones returned by
+	// ReadFrom but not yet retired by the reader's next call. A batch
+	// larger than the queue stages its surplus in staged/stagedHead and
+	// feeds the queue as the reader drains — the gate stays held (and
+	// virtual time frozen) until the whole batch is processed, exactly
+	// like the old one-event-per-datagram handoff, so batching never
+	// drops what per-event delivery would have delivered.
+	batches    map[time.Time]*delivBatch // pending batches by due instant
+	batchFree  *delivBatch               // recycled batch objects (and their timers)
+	staged     []packet
+	stagedHead int
+	unretired  int
+	handed     int
+	gateHeld   bool
+
+	// Deadline-bearing reads share one reusable timer per conn instead of
+	// allocating a timer and channel per call. dlBusy marks it claimed by
+	// an in-flight read; a concurrent deadline read (legal on a wall-mode
+	// PacketConn) falls back to a private one-shot timer.
+	dlTimer clock.Timer
+	dlCh    chan struct{}
+	dlBusy  bool
+
+	// bufFree recycles datagram copy buffers through the conn they are
+	// delivered to: writers take a buffer under the destination's lock,
+	// the reader returns it after copying out. Steady-state traffic
+	// allocates no per-datagram buffers.
+	bufFree [][]byte
 
 	readDeadline time.Time
 }
+
+// maxFreeBufs bounds the recycled-buffer stack: the queue can hold
+// pipeQueueDepth datagrams, plus slack for ones in the reader's hands.
+const maxFreeBufs = pipeQueueDepth + 32
+
+// allocLocked returns a length-n buffer, recycled when one fits; callers
+// hold c.mu.
+func (c *pipeConn) allocLocked(n int) []byte {
+	if l := len(c.bufFree); l > 0 {
+		b := c.bufFree[l-1]
+		c.bufFree[l-1] = nil
+		c.bufFree = c.bufFree[:l-1]
+		if cap(b) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// freeLocked recycles a delivered datagram's buffer; callers hold c.mu.
+func (c *pipeConn) freeLocked(b []byte) {
+	if len(c.bufFree) < maxFreeBufs {
+		c.bufFree = append(c.bufFree, b)
+	}
+}
+
+// delivBatch is one (conn, virtual instant) delivery batch: every datagram
+// due at that instant at that conn, delivered by a single kernel event.
+// Batch objects (and their timers, and their packet slices) are recycled
+// through the owning conn's free list, so steady-state traffic schedules
+// deliveries without allocating.
+type delivBatch struct {
+	conn *pipeConn
+	due  time.Time
+	pkts []packet
+	tmr  clock.Timer
+	next *delivBatch // free-list link
+}
+
+func (b *delivBatch) fire() { b.conn.fireBatch(b) }
 
 const pipeQueueDepth = 1024
 
@@ -189,18 +274,130 @@ func (c *pipeConn) WriteTo(p []byte, to net.Addr) (int, error) {
 	if drop || peer == nil {
 		return len(p), nil // silently dropped, like a lossy network
 	}
-	data := make([]byte, len(p))
-	copy(data, p)
-	deliver := func() { peer.enqueue(packet{data: data, from: c.name}) }
-	if delay <= 0 && c.gate == nil {
-		deliver()
+	if c.gate != nil {
+		// In virtual mode every datagram rides the kernel — delivery order
+		// is decided by the clock, not by goroutine races — and same-tick
+		// datagrams to one conn share a single event and gate hold.
+		peer.batchDeliver(p, c.name, delay)
 		return len(p), nil
 	}
-	// In virtual mode even zero-delay datagrams ride the kernel: delivery
-	// order is then decided by the clock, one event at a time, instead of
-	// racing the writer's goroutine.
-	c.clk.AfterFunc(delay, deliver)
+	if delay <= 0 {
+		peer.enqueue(p, c.name)
+		return len(p), nil
+	}
+	data := peer.copyBuf(p)
+	pkt := packet{data: data, from: c.name}
+	c.clk.AfterFunc(delay, func() { peer.enqueueOwned(pkt) })
 	return len(p), nil
+}
+
+// copyBuf copies p into a buffer recycled through this (destination)
+// conn.
+func (c *pipeConn) copyBuf(p []byte) []byte {
+	c.mu.Lock()
+	data := c.allocLocked(len(p))
+	c.mu.Unlock()
+	copy(data, p)
+	return data
+}
+
+// batchDeliver schedules pkt for delivery at this conn after delay
+// (virtual mode only). Datagrams due at the same instant join the same
+// batch: one kernel event, one gate Enter/Exit pair, however many
+// datagrams the instant carries. Under Config.Unbatched every datagram
+// gets a private batch, reproducing the one-event-per-datagram semantics.
+func (c *pipeConn) batchDeliver(p []byte, from addr, delay time.Duration) {
+	due := c.clk.Now().Add(delay)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	data := c.allocLocked(len(p))
+	copy(data, p)
+	var b *delivBatch
+	if !c.cfg.Unbatched {
+		if c.batches == nil {
+			c.batches = make(map[time.Time]*delivBatch)
+		}
+		b = c.batches[due]
+	}
+	if b == nil {
+		if b = c.batchFree; b != nil {
+			c.batchFree = b.next
+			b.next = nil
+		} else {
+			b = &delivBatch{conn: c}
+			b.tmr = c.clk.NewTimer(b.fire)
+		}
+		b.due = due
+		if !c.cfg.Unbatched {
+			c.batches[due] = b
+		}
+		b.tmr.Reset(delay)
+	}
+	b.pkts = append(b.pkts, packet{data: data, from: from})
+	c.mu.Unlock()
+}
+
+// fireBatch delivers a due batch: it runs as a kernel event on the clock
+// driver, stages the batch's datagrams, feeds as many as fit into the
+// queue, and takes one gate hold that the reader releases only after
+// draining the entire batch.
+func (c *pipeConn) fireBatch(b *delivBatch) {
+	c.mu.Lock()
+	if c.batches[b.due] == b {
+		delete(c.batches, b.due)
+	}
+	if !c.closed {
+		c.staged = append(c.staged, b.pkts...)
+		c.feedStagedLocked()
+	}
+	clear(b.pkts)
+	b.pkts = b.pkts[:0]
+	b.next = c.batchFree
+	c.batchFree = b
+	c.mu.Unlock()
+}
+
+// maxStagedCap bounds the staging slice's retained capacity: install-size
+// bursts may grow it, but an idle conn gives the memory back.
+const maxStagedCap = 4096
+
+// feedStagedLocked moves staged datagrams into the queue until it fills
+// or the stage empties, and takes the gate hold covering them; callers
+// hold c.mu. The gate prevents further kernel events until the reader
+// retires everything fed, so a stage larger than the queue drains in
+// reader-paced slices at one frozen virtual instant — never dropping, and
+// never letting the clock advance mid-batch.
+func (c *pipeConn) feedStagedLocked() {
+	fed := 0
+loop:
+	for c.stagedHead < len(c.staged) {
+		select {
+		case c.queue <- c.staged[c.stagedHead]:
+			c.staged[c.stagedHead] = packet{}
+			c.stagedHead++
+			fed++
+		default:
+			break loop
+		}
+	}
+	if c.stagedHead == len(c.staged) {
+		if cap(c.staged) > maxStagedCap {
+			c.staged = nil
+		} else {
+			c.staged = c.staged[:0]
+		}
+		c.stagedHead = 0
+	}
+	if fed > 0 {
+		c.unretired += fed
+		if !c.gateHeld {
+			c.gateHeld = true
+			c.gate.Enter()
+		}
+	}
 }
 
 func (c *pipeConn) sampleDelayLocked() time.Duration {
@@ -212,7 +409,26 @@ func (c *pipeConn) sampleDelayLocked() time.Duration {
 	return d
 }
 
-func (c *pipeConn) enqueue(p packet) {
+// enqueue copies and delivers one datagram immediately (wall mode;
+// virtual mode delivers through batches).
+func (c *pipeConn) enqueue(p []byte, from addr) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	data := c.allocLocked(len(p))
+	copy(data, p)
+	select {
+	case c.queue <- packet{data: data, from: from}:
+	default:
+		c.freeLocked(data) // queue overflow behaves like router-buffer drop
+	}
+}
+
+// enqueueOwned delivers a datagram whose buffer was already copied with
+// copyBuf (the delayed wall-mode path).
+func (c *pipeConn) enqueueOwned(p packet) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
@@ -220,29 +436,91 @@ func (c *pipeConn) enqueue(p packet) {
 	}
 	select {
 	case c.queue <- p:
-		if c.gate != nil {
-			c.gate.Enter() // retired when the reader finishes with it
-		}
 	default:
-		// Queue overflow behaves like router-buffer drop.
+		c.freeLocked(p.data)
 	}
 }
 
-// retireHandedLocked tells the gate the reader has finished processing
-// every datagram previously returned; callers hold c.mu.
-func (c *pipeConn) retireHandedLocked() {
-	for ; c.handed > 0; c.handed-- {
-		c.gate.Exit()
+// retireLocked tells the gate the reader has finished processing every
+// datagram previously returned. Once everything fed so far is retired it
+// feeds the next queue-sized slice of a staged batch, and releases the
+// hold only when the whole batch has drained; callers hold c.mu.
+func (c *pipeConn) retireLocked() {
+	if c.handed > 0 {
+		c.unretired -= c.handed
+		c.handed = 0
+	}
+	if c.unretired == 0 {
+		if c.stagedHead < len(c.staged) {
+			c.feedStagedLocked()
+			return
+		}
+		if c.gateHeld {
+			c.gateHeld = false
+			c.gate.Exit()
+		}
+	}
+}
+
+// armDeadline arms a deadline timer for one read and returns its signal
+// channel plus the timer to stop and whether the conn's shared timer was
+// claimed. The shared timer and channel are created once per conn and
+// reused by every non-overlapping deadline read (the common single-reader
+// case allocates nothing); stale fires from a previous deadline are
+// drained here and re-checked against the clock by the caller, so reuse
+// never produces an early timeout. Overlapping deadline reads get a
+// private one-shot timer, preserving the old any-number-of-readers
+// semantics.
+func (c *pipeConn) armDeadline(d time.Duration) (<-chan struct{}, clock.Timer, bool) {
+	c.mu.Lock()
+	if !c.dlBusy {
+		c.dlBusy = true
+		if c.dlTimer == nil {
+			ch := make(chan struct{}, 1)
+			c.dlCh = ch
+			c.dlTimer = c.clk.AfterFunc(d, func() {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
+			})
+			t := c.dlTimer
+			c.mu.Unlock()
+			return ch, t, true
+		}
+		t, ch := c.dlTimer, c.dlCh
+		c.mu.Unlock()
+		select { // drain a stale fire from an earlier deadline
+		case <-ch:
+		default:
+		}
+		t.Reset(d)
+		return ch, t, true
+	}
+	c.mu.Unlock()
+	ch := make(chan struct{})
+	t := c.clk.AfterFunc(d, func() { close(ch) })
+	return ch, t, false
+}
+
+// releaseDeadline stops a read's deadline timer and, for the shared one,
+// returns it to the conn.
+func (c *pipeConn) releaseDeadline(t clock.Timer, shared bool) {
+	t.Stop()
+	if shared {
+		c.mu.Lock()
+		c.dlBusy = false
+		c.mu.Unlock()
 	}
 }
 
 // ReadFrom blocks for the next datagram, honoring the read deadline. A
 // fresh call signals that the previous datagram has been fully processed,
-// which is what lets the virtual clock advance past it.
+// which is what lets the virtual clock advance past its batch.
 func (c *pipeConn) ReadFrom(p []byte) (int, net.Addr, error) {
 	c.mu.Lock()
 	if c.gate != nil {
-		c.retireHandedLocked()
+		c.retireLocked()
 	}
 	deadline := c.readDeadline
 	closed := c.closed
@@ -251,44 +529,51 @@ func (c *pipeConn) ReadFrom(p []byte) (int, net.Addr, error) {
 		return 0, nil, net.ErrClosed
 	}
 	var timeout <-chan struct{}
+	var dlTmr clock.Timer
+	var dlShared bool
 	if !deadline.IsZero() {
 		d := deadline.Sub(c.clk.Now())
 		if d <= 0 {
 			return 0, nil, timeoutError{}
 		}
-		expired := make(chan struct{})
-		t := c.clk.AfterFunc(d, func() { close(expired) })
-		defer t.Stop()
-		timeout = expired
+		timeout, dlTmr, dlShared = c.armDeadline(d)
+		defer c.releaseDeadline(dlTmr, dlShared)
 	}
-	select {
-	case pkt := <-c.queue:
-		if c.gate != nil {
+	for {
+		select {
+		case pkt := <-c.queue:
+			n := copy(p, pkt.data)
 			c.mu.Lock()
-			if c.closed {
-				// Close already drained the gate for queued datagrams it
-				// could see; this one left the queue first, so retire it
-				// here instead of handing it to a dead reader's ledger.
-				c.gate.Exit()
-			} else {
+			c.freeLocked(pkt.data)
+			if c.gate != nil && !c.closed {
+				// Count the datagram as handed to the reader; Close already
+				// zeroed the ledger (and released the hold) if it raced
+				// this dequeue.
 				c.handed++
 			}
 			c.mu.Unlock()
+			return n, pkt.from, nil
+		case <-c.done:
+			return 0, nil, net.ErrClosed
+		case <-timeout:
+			if c.clk.Now().Before(deadline) {
+				// Stale fire from a previous deadline that slipped past the
+				// drain (shared timer only); rearm for the remainder and
+				// keep waiting.
+				dlTmr.Reset(deadline.Sub(c.clk.Now()))
+				continue
+			}
+			return 0, nil, timeoutError{}
 		}
-		n := copy(p, pkt.data)
-		return n, pkt.from, nil
-	case <-c.done:
-		return 0, nil, net.ErrClosed
-	case <-timeout:
-		return 0, nil, timeoutError{}
 	}
 }
 
 // Close shuts the endpoint: pending reads unblock with net.ErrClosed and
-// later deliveries are dropped by enqueue. The queue channel is never
-// closed, so a peer's in-flight WriteTo can race Close safely. In virtual
-// mode Close retires every outstanding gate unit (handed and still
-// queued), so a closed endpoint can never stall the clock.
+// later deliveries are dropped. The queue channel is never closed, so a
+// peer's in-flight WriteTo can race Close safely. In virtual mode Close
+// zeroes the gate ledger and releases any held batch, so a closed
+// endpoint can never stall the clock; batches still scheduled fire into
+// the closed conn and drop their datagrams.
 func (c *pipeConn) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -297,16 +582,22 @@ func (c *pipeConn) Close() error {
 	}
 	c.closed = true
 	if c.gate != nil {
-		c.retireHandedLocked()
-		for {
-			select {
-			case <-c.queue:
-				c.gate.Exit()
-				continue
-			default:
-			}
-			break
+		c.handed = 0
+		c.unretired = 0
+		c.staged = nil
+		c.stagedHead = 0
+		if c.gateHeld {
+			c.gateHeld = false
+			c.gate.Exit()
 		}
+	}
+	for {
+		select {
+		case <-c.queue: // discard; the conn (and its free list) is dead
+			continue
+		default:
+		}
+		break
 	}
 	c.mu.Unlock()
 	close(c.done)
@@ -389,12 +680,13 @@ func (c *Conn) WriteTo(p []byte, to net.Addr) (int, error) {
 	if delay <= 0 {
 		return c.PacketConn.WriteTo(p, to)
 	}
-	data := make([]byte, len(p))
-	copy(data, p)
+	buf := bufpool.Get()
+	buf.B = append(buf.B[:0], p...)
 	c.wg.Add(1)
 	c.clk.AfterFunc(delay, func() {
 		defer c.wg.Done()
-		_, _ = c.PacketConn.WriteTo(data, to)
+		_, _ = c.PacketConn.WriteTo(buf.B, to)
+		buf.Free()
 	})
 	return len(p), nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"softstate/internal/bufpool"
 	"softstate/internal/clock"
 	"softstate/internal/statetable"
 	"softstate/internal/wire"
@@ -189,10 +190,19 @@ func (r *Receiver) Close() error {
 func (r *Receiver) readLoop() {
 	defer r.wg.Done()
 	buf := make([]byte, 64*1024)
+	scratch := r.newSummaryScratch()
 	for {
 		n, from, err := r.tp.conn.ReadFrom(buf)
 		if err != nil {
 			return
+		}
+		if wire.PeekType(buf[:n]) == wire.TypeSummaryRefresh {
+			// Summary refreshes are the steady-state hot path (one
+			// datagram renews up to SummaryMaxKeys keys); decode them in
+			// place instead of materializing a key-string slice per
+			// datagram.
+			r.handleSummaryFast(buf[:n], from, scratch)
+			continue
 		}
 		var m wire.Message
 		if derr := m.UnmarshalBinary(buf[:n]); derr != nil {
@@ -200,6 +210,71 @@ func (r *Receiver) readLoop() {
 			continue
 		}
 		r.handle(m, from)
+	}
+}
+
+// summaryScratch is the read loop's reusable state for in-place summary
+// handling: the composite (peer, key) lookup buffer, the unknown-key list
+// for NACKs, and the two hoisted closures — built once per read loop so
+// the per-key path allocates nothing.
+type summaryScratch struct {
+	ck      []byte // addr + NUL + key, rebuilt per key
+	prefix  int    // length of the addr + NUL prefix in ck
+	seq     uint64 // current datagram's sequence number
+	unknown []string
+	visit   func(seq uint64, key []byte)
+	renew   func(e *receiverEntry, tc statetable.TimerControl[receiverEntry])
+}
+
+func (r *Receiver) newSummaryScratch() *summaryScratch {
+	sc := &summaryScratch{}
+	sc.renew = func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+		// Same staleness guard as per-key refreshes: a delayed or replayed
+		// summary must not renew state that a newer per-key message has
+		// since superseded.
+		if sc.seq < e.lastSeq {
+			return
+		}
+		r.armTimeout(tc)
+	}
+	sc.visit = func(seq uint64, key []byte) {
+		sc.seq = seq
+		sc.ck = append(sc.ck[:sc.prefix], key...)
+		if !r.tbl.UpdateBytes(sc.ck, sc.renew) {
+			sc.unknown = append(sc.unknown, string(key))
+		}
+	}
+	return sc
+}
+
+// handleSummaryFast is handleSummary without allocations: it validates
+// and walks the datagram in place (wire.VisitSummaryKeys), builds each
+// (peer, key) composite lookup key in a reusable buffer, and renews
+// matching entries through the state table's byte-key path. Only the
+// NACK fallback for unknown keys — rare by construction — copies
+// anything.
+func (r *Receiver) handleSummaryFast(data []byte, from net.Addr, sc *summaryScratch) {
+	if r.closed.Load() {
+		return
+	}
+	sc.ck = append(sc.ck[:0], from.String()...)
+	sc.ck = append(sc.ck, 0)
+	sc.prefix = len(sc.ck)
+	sc.unknown = sc.unknown[:0]
+	seq, err := wire.VisitSummaryKeys(data, sc.visit)
+	if err != nil {
+		r.ctrs.decodeErrors.Add(1)
+		return
+	}
+	r.ctrs.received[wire.TypeSummaryRefresh].Add(1)
+	unknown := sc.unknown
+	for len(unknown) > 0 {
+		n := wire.SummaryFits(unknown)
+		if n == 0 {
+			return // unreachable: NACKed keys arrived in a datagram
+		}
+		r.send(wire.Message{Type: wire.TypeSummaryNack, Seq: seq, Keys: unknown[:n]}, from)
+		unknown = unknown[n:]
 	}
 }
 
@@ -243,40 +318,9 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 		if r.cfg.Protocol.ReliableRemoval() {
 			r.ack(wire.TypeRemovalAck, m.Seq, m.Key, from)
 		}
-	case wire.TypeSummaryRefresh:
-		r.handleSummary(m, from)
 	}
-}
-
-// handleSummary bulk-renews the timeouts of every key a summary refresh
-// names — for the sending peer only — and NACKs the ones this receiver
-// does not hold for that peer, so the sender falls back to full triggers.
-func (r *Receiver) handleSummary(m wire.Message, from net.Addr) {
-	addr := from.String()
-	var unknown []string
-	for _, key := range m.Keys {
-		known := r.tbl.Update(rkey(addr, key), func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
-			// Same staleness guard as per-key refreshes: a delayed or
-			// replayed summary (its Seq is the sender session's counter at
-			// sweep time) must not renew state that a newer per-key message
-			// has since superseded.
-			if m.Seq < e.lastSeq {
-				return
-			}
-			r.armTimeout(tc)
-		})
-		if !known {
-			unknown = append(unknown, key)
-		}
-	}
-	for len(unknown) > 0 {
-		n := wire.SummaryFits(unknown)
-		if n == 0 {
-			return // unreachable: NACKed keys arrived in a datagram
-		}
-		r.send(wire.Message{Type: wire.TypeSummaryNack, Seq: m.Seq, Keys: unknown[:n]}, from)
-		unknown = unknown[n:]
-	}
+	// wire.TypeSummaryRefresh never reaches here: the read loop routes it
+	// to handleSummaryFast before the generic decode.
 }
 
 func (r *Receiver) armTimeout(tc statetable.TimerControl[receiverEntry]) {
@@ -385,18 +429,23 @@ func (r *Receiver) flushAcks() {
 	}
 }
 
-// send encodes and transmits m to to.
+// send encodes m onto a pooled buffer and transmits it to to; the buffer
+// is recycled once the transport write returns (all transports copy).
 func (r *Receiver) send(m wire.Message, to net.Addr) {
 	if to == nil {
 		return
 	}
-	data, err := m.Append(nil)
+	buf := bufpool.Get()
+	data, err := m.Append(buf.B[:0])
 	if err != nil {
+		buf.Free()
 		return
 	}
+	buf.B = data
 	if r.tp.write(data, to) {
 		r.ctrs.sent[m.Type].Add(1)
 	}
+	buf.Free()
 }
 
 func (r *Receiver) emit(ev Event) { r.events.emit(ev) }

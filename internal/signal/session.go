@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"softstate/internal/bufpool"
 	"softstate/internal/clock"
 	"softstate/internal/statetable"
 	"softstate/internal/wire"
@@ -41,6 +42,14 @@ type Sessions struct {
 	wg     sync.WaitGroup // summary sweeper (wall mode)
 
 	sweepTimer clock.Timer // summary sweeper (virtual mode)
+	sweepMu    sync.Mutex  // serializes sweeps and guards session sweep caches
+
+	// sweepSessions caches the id-sorted session list (under sweepMu),
+	// rebuilt only when peersDirty reports a session was added — sessions
+	// are never removed, so a steady-state sweep re-lists and re-sorts
+	// nothing.
+	sweepSessions []*Session
+	peersDirty    atomic.Bool
 
 	nextID atomic.Uint32
 	peers  [peerShardCount]peerShard
@@ -67,6 +76,15 @@ type Session struct {
 	peer net.Addr
 	seq  atomic.Uint64
 	live atomic.Int64
+
+	// Summary-sweep cache: the sorted live user keys of this session, so
+	// steady-state sweeps neither scan the shared table nor re-sort. The
+	// dirty flag is set by any operation that changes key membership
+	// (install, remove) and claimed by the next sweep, which rebuilds the
+	// stale sessions' lists with a single table scan. Guarded by the
+	// owning Sessions' sweepMu (sweeps are serialized).
+	sweepDirty atomic.Bool
+	sweepKeys  []string
 }
 
 // senderEntry tracks one (peer, key)'s signaling state at the sender.
@@ -159,6 +177,7 @@ func (ss *Sessions) Session(peer net.Addr) *Session {
 	}
 	s = &Session{ss: ss, id: ss.nextID.Add(1), peer: peer}
 	sh.m[addr] = s
+	ss.peersDirty.Store(true)
 	return s
 }
 
@@ -234,15 +253,22 @@ func (ss *Sessions) Shutdown() error {
 // that routes messages into sessions has drained.
 func (ss *Sessions) CloseEvents() { ss.events.close() }
 
-// send encodes and transmits m to to.
+// send encodes m onto a pooled buffer and transmits it to to. The buffer
+// is recycled as soon as the transport write returns — safe because every
+// transport (in-memory pipes, UDP sockets) copies the datagram before
+// WriteTo returns.
 func (ss *Sessions) send(m wire.Message, to net.Addr) {
-	data, err := m.Append(nil)
+	buf := bufpool.Get()
+	data, err := m.Append(buf.B[:0])
 	if err != nil {
+		buf.Free()
 		return
 	}
+	buf.B = data
 	if ss.tp.write(data, to) {
 		ss.ctrs.sent[m.Type].Add(1)
 	}
+	buf.Free()
 }
 
 func (ss *Sessions) emit(ev Event) { ss.events.emit(ev) }
@@ -302,6 +328,7 @@ func (s *Session) put(key string, value []byte, kind EventKind) error {
 		if created || e.removing {
 			s.live.Add(1)
 			ss.live.Add(1)
+			s.sweepDirty.Store(true)
 		}
 		e.sess = s
 		e.value = v
@@ -337,6 +364,7 @@ func (s *Session) Remove(key string) error {
 		}
 		s.live.Add(-1)
 		ss.live.Add(-1)
+		s.sweepDirty.Store(true)
 		tc.Cancel(timerRefresh)
 		tc.Cancel(timerRetx)
 		if !ss.cfg.Protocol.ExplicitRemoval() {
@@ -512,32 +540,51 @@ func (ss *Sessions) summaryInterval() time.Duration {
 // interval; benchmarks and drivers may call it directly.
 func (ss *Sessions) SummarySweep() int { return ss.summarySweep() }
 
-// summarySweep implements SummarySweep.
+// summarySweep implements SummarySweep. Each session carries a cached,
+// sorted list of its live keys, rebuilt — with a single scan of the
+// shared table — only for sessions whose key membership changed since the
+// last sweep. A steady-state sweep (the common case: millions of keys,
+// no churn) therefore walks no table shards and sorts nothing; it just
+// streams each session's cached list into summary datagrams. The sorted
+// order doubles as the determinism guarantee for virtual runs: datagram
+// composition no longer depends on map iteration.
 func (ss *Sessions) summarySweep() int {
-	per := make(map[*Session][]string)
-	ss.tbl.Range(func(ck string, e *senderEntry) bool {
-		if !e.removing {
-			per[e.sess] = append(per[e.sess], userKey(ck))
-		}
-		return true
-	})
-	sessions := make([]*Session, 0, len(per))
-	for sess := range per {
-		sessions = append(sessions, sess)
+	ss.sweepMu.Lock()
+	defer ss.sweepMu.Unlock()
+	if ss.peersDirty.Swap(false) {
+		ss.sweepSessions = ss.Peers()
+		sort.Slice(ss.sweepSessions, func(i, j int) bool {
+			return ss.sweepSessions[i].id < ss.sweepSessions[j].id
+		})
 	}
-	if ss.det {
-		// Virtual runs must be reproducible: fix the datagram order (and
-		// the key set inside each datagram) that map iteration would
-		// otherwise randomize, so the link's loss stream hits the same
-		// datagrams every run.
-		sort.Slice(sessions, func(i, j int) bool { return sessions[i].id < sessions[j].id })
-		for _, sess := range sessions {
-			sort.Strings(per[sess])
+	sessions := ss.sweepSessions
+	var rebuild map[*Session][]string
+	for _, sess := range sessions {
+		if sess.sweepDirty.Swap(false) {
+			if rebuild == nil {
+				rebuild = make(map[*Session][]string)
+			}
+			rebuild[sess] = sess.sweepKeys[:0]
+		}
+	}
+	if rebuild != nil {
+		ss.tbl.Range(func(ck string, e *senderEntry) bool {
+			if e.removing {
+				return true
+			}
+			if keys, ok := rebuild[e.sess]; ok {
+				rebuild[e.sess] = append(keys, userKey(ck))
+			}
+			return true
+		})
+		for sess, keys := range rebuild {
+			sort.Strings(keys)
+			sess.sweepKeys = keys
 		}
 	}
 	sent := 0
 	for _, sess := range sessions {
-		keys := per[sess]
+		keys := sess.sweepKeys
 		for len(keys) > 0 {
 			n := wire.SummaryFits(keys)
 			if n > ss.cfg.SummaryMaxKeys {

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"softstate/internal/signal"
+)
+
+// These tests are the regression net for the batched gate handoff: same
+// seed must keep producing identical experiment results run over run, and
+// — stronger — the batched delivery path must produce results identical
+// to the pre-batching one-event-per-datagram semantics (Unbatched). The
+// workloads deliberately mix loss, delay, churn, summary refresh, and ack
+// coalescing so every coalescing-sensitive path is exercised.
+
+func detLiveConfig() LiveConfig {
+	return LiveConfig{
+		Protocol:        signal.SSRT,
+		Hops:            3,
+		Keys:            24,
+		Loss:            0.15,
+		Delay:           2 * time.Millisecond,
+		Jitter:          time.Millisecond,
+		RefreshInterval: 50 * time.Millisecond,
+		MeanLifetime:    400 * time.Millisecond,
+		MeanGap:         150 * time.Millisecond,
+		MeanFalseSignal: 300 * time.Millisecond,
+		SummaryRefresh:  true,
+		CoalesceAcks:    true,
+		Duration:        4 * time.Second,
+		Seed:            1055,
+	}
+}
+
+func TestConsistencyVsLossDeterministicAcrossRuns(t *testing.T) {
+	losses := []float64{0, 0.1, 0.3}
+	a, err := ConsistencyVsLoss(detLiveConfig(), losses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConsistencyVsLoss(detLiveConfig(), losses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different results:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestBatchedMatchesUnbatchedLive(t *testing.T) {
+	batched, err := RunLive(detLiveConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucfg := detLiveConfig()
+	ucfg.Unbatched = true
+	unbatched, err := RunLive(ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batched, unbatched) {
+		t.Fatalf("batched gate changed experiment results:\nbatched:   %+v\nunbatched: %+v", batched, unbatched)
+	}
+}
+
+func TestBatchedMatchesUnbatchedFanout(t *testing.T) {
+	cfg := FanoutConfig{
+		Peers:           8,
+		Keys:            512,
+		Loss:            0.05,
+		Delay:           time.Millisecond,
+		RefreshInterval: 50 * time.Millisecond,
+		Duration:        300 * time.Millisecond,
+	}
+	batched, err := RunLiveFanout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ucfg := cfg
+	ucfg.Unbatched = true
+	unbatched, err := RunLiveFanout(ucfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batched, unbatched) {
+		t.Fatalf("batched gate changed fan-out results:\nbatched:   %+v\nunbatched: %+v", batched, unbatched)
+	}
+	again, err := RunLiveFanout(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(batched, again) {
+		t.Fatalf("same seed, different fan-out results:\n%+v\nvs\n%+v", batched, again)
+	}
+}

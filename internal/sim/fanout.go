@@ -30,6 +30,9 @@ type FanoutConfig struct {
 	Delay           time.Duration
 	Duration        time.Duration // virtual run length after install; default 3R
 	Seed            uint64
+	// Unbatched disables same-tick delivery batching on the switch; see
+	// LiveConfig.Unbatched.
+	Unbatched bool
 }
 
 func (cfg *FanoutConfig) applyDefaults() error {
@@ -94,6 +97,7 @@ func buildLiveFanout(cfg FanoutConfig) (*liveFanout, error) {
 	v := clock.NewVirtual()
 	nw, err := lossy.NewNetwork(lossy.Config{
 		Loss: cfg.Loss, Delay: cfg.Delay, Seed: cfg.Seed ^ 0x11ce, Clock: v,
+		Unbatched: cfg.Unbatched,
 	})
 	if err != nil {
 		return nil, err
@@ -152,6 +156,39 @@ func (f *liveFanout) held() int {
 	}
 	return total
 }
+
+// FanoutBench is a pre-built fan-out topology for throughput
+// benchmarking: construction (install burst included) happens in
+// NewFanoutBench, so Run measures only steady-state refresh traffic. It
+// is the exported form of the harness behind
+// BenchmarkLiveFanoutThroughput, reused by cmd/bench for the tracked
+// benchmark trajectory.
+type FanoutBench struct {
+	f *liveFanout
+}
+
+// NewFanoutBench wires the topology and installs every key.
+func NewFanoutBench(cfg FanoutConfig) (*FanoutBench, error) {
+	f, err := buildLiveFanout(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &FanoutBench{f: f}, nil
+}
+
+// RefreshInterval returns the configured refresh interval R; each Run(R)
+// performs one summary sweep of every peer.
+func (b *FanoutBench) RefreshInterval() time.Duration { return b.f.cfg.RefreshInterval }
+
+// KeysPerInterval returns the keys renewed per refresh interval
+// (Peers × Keys).
+func (b *FanoutBench) KeysPerInterval() int { return b.f.cfg.Peers * b.f.cfg.Keys }
+
+// Run advances virtual time by d.
+func (b *FanoutBench) Run(d time.Duration) { b.f.clk.Run(d) }
+
+// Close tears the topology down.
+func (b *FanoutBench) Close() { b.f.close() }
 
 // RunLiveFanout builds the topology, runs Duration of virtual time, and
 // reports how summary refresh carried the key population.

@@ -66,6 +66,11 @@ type LiveConfig struct {
 	// Seed makes the run reproducible; runs with equal seeds produce
 	// byte-identical LiveResults.
 	Seed uint64
+	// Unbatched disables same-tick delivery batching on the links (one
+	// kernel event and one gate hold per datagram, the pre-batching
+	// semantics). The determinism regression tests prove batched and
+	// unbatched runs produce identical LiveResults.
+	Unbatched bool
 }
 
 func (cfg *LiveConfig) applyDefaults() error {
@@ -158,11 +163,12 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		Clock:           v,
 	}
 	link := lossy.Config{
-		Loss:   cfg.Loss,
-		Delay:  cfg.Delay,
-		Jitter: cfg.Jitter,
-		Seed:   cfg.Seed ^ 0x11ce, // distinct stream from the workload rng
-		Clock:  v,
+		Loss:      cfg.Loss,
+		Delay:     cfg.Delay,
+		Jitter:    cfg.Jitter,
+		Seed:      cfg.Seed ^ 0x11ce, // distinct stream from the workload rng
+		Clock:     v,
+		Unbatched: cfg.Unbatched,
 	}
 	stack, err := buildLiveStack(cfg, scfg, link)
 	if err != nil {

@@ -183,6 +183,16 @@ func Hash32(s string) uint32 {
 	return h
 }
 
+// Hash32Bytes is Hash32 for a byte-slice key.
+func Hash32Bytes(s []byte) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
 func (t *Table[V]) shardOf(key string) *shard[V] {
 	return &t.shards[Hash32(key)&t.mask]
 }
@@ -229,6 +239,21 @@ func (t *Table[V]) Update(key string, fn func(v *V, tc TimerControl[V])) bool {
 	sh := t.shardOf(key)
 	sh.mu.Lock()
 	e, ok := sh.entries[key]
+	if ok && fn != nil {
+		fn(&e.value, TimerControl[V]{t: t, sh: sh, e: e})
+	}
+	t.unlockAndPoke(sh)
+	return ok
+}
+
+// UpdateBytes is Update for a byte-slice key: the lookup converts key in
+// place (no string allocation), so decode paths that renew existing
+// entries straight out of a datagram buffer — a receiver absorbing
+// summary refreshes — touch the table allocation-free. It never inserts.
+func (t *Table[V]) UpdateBytes(key []byte, fn func(v *V, tc TimerControl[V])) bool {
+	sh := &t.shards[Hash32Bytes(key)&t.mask]
+	sh.mu.Lock()
+	e, ok := sh.entries[string(key)]
 	if ok && fn != nil {
 		fn(&e.value, TimerControl[V]{t: t, sh: sh, e: e})
 	}

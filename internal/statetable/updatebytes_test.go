@@ -1,0 +1,57 @@
+package statetable
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestUpdateBytesMatchesUpdate(t *testing.T) {
+	tbl := New(Config[int]{Shards: 8})
+	defer tbl.Close()
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("peer\x00flow/%04d", i)
+		i := i
+		tbl.Upsert(key, func(v *int, _ bool, _ TimerControl[int]) { *v = i })
+	}
+	buf := make([]byte, 0, 32)
+	for i := 0; i < 200; i++ {
+		buf = fmt.Appendf(buf[:0], "peer\x00flow/%04d", i)
+		got := -1
+		if !tbl.UpdateBytes(buf, func(v *int, _ TimerControl[int]) { got = *v }) {
+			t.Fatalf("UpdateBytes missed existing key %q", buf)
+		}
+		if got != i {
+			t.Fatalf("key %d: got %d", i, got)
+		}
+	}
+	if tbl.UpdateBytes([]byte("absent"), func(*int, TimerControl[int]) { t.Fatal("called for absent key") }) {
+		t.Fatal("UpdateBytes reported an absent key present")
+	}
+	if tbl.Len() != 200 {
+		t.Fatalf("UpdateBytes inserted: len=%d", tbl.Len())
+	}
+	// The byte and string hashes must agree, or byte-key lookups would
+	// probe the wrong shard.
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("peer\x00flow/%04d", i)
+		if Hash32(key) != Hash32Bytes([]byte(key)) {
+			t.Fatalf("hash mismatch for %q", key)
+		}
+	}
+}
+
+func TestUpdateBytesZeroAlloc(t *testing.T) {
+	tbl := New(Config[int]{Shards: 1})
+	defer tbl.Close()
+	tbl.Upsert("some-key", nil)
+	key := []byte("some-key")
+	fn := func(*int, TimerControl[int]) {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if !tbl.UpdateBytes(key, fn) {
+			t.Fatal("miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("UpdateBytes allocates %.1f per op, want 0", allocs)
+	}
+}

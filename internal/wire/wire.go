@@ -331,6 +331,89 @@ func (m *Message) appendAckBatch(dst []byte) ([]byte, error) {
 	return dst, nil
 }
 
+// PeekType returns the (unvalidated) message type of an encoded datagram,
+// so read loops can route hot message kinds to allocation-free decoders
+// before paying for a full decode. Callers must still validate the
+// datagram with UnmarshalBinary or VisitSummaryKeys before acting on it.
+func PeekType(data []byte) Type {
+	if len(data) < 2 {
+		return 0
+	}
+	return Type(data[1])
+}
+
+// VisitSummaryKeys decodes a summary-refresh datagram in place: it runs
+// the full validation of UnmarshalBinary (checksum, version, structure),
+// then calls visit once per key with the datagram's sequence number and a
+// key slice aliasing data. No per-key strings or key slices are
+// allocated, which is what keeps a receiver renewing millions of keys per
+// second off the garbage collector. visit is only called if the whole
+// datagram validated first, and must not retain the slice past its
+// return.
+func VisitSummaryKeys(data []byte, visit func(seq uint64, key []byte)) (seq uint64, err error) {
+	if len(data) < headerLen+4+trailerLen {
+		return 0, ErrShort
+	}
+	body, trailer := data[:len(data)-trailerLen], data[len(data)-trailerLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(trailer); got != want {
+		return 0, ErrChecksum
+	}
+	if body[0] != Version {
+		return 0, fmt.Errorf("%w: %d", ErrVersion, body[0])
+	}
+	if Type(body[1]) != TypeSummaryRefresh {
+		return 0, fmt.Errorf("%w: %d", ErrType, body[1])
+	}
+	seq = binary.BigEndian.Uint64(body[2:10])
+	if binary.BigEndian.Uint16(body[10:12]) != 0 {
+		return 0, fmt.Errorf("%w: nonzero key length", ErrSummary)
+	}
+	rest := body[12:]
+	if len(rest) < 4 {
+		return 0, ErrShort
+	}
+	valLen := int(binary.BigEndian.Uint32(rest[:4]))
+	if valLen > MaxValueLen {
+		return 0, ErrTooLarge
+	}
+	block := rest[4:]
+	if len(block) != valLen || len(block) < 2 {
+		return 0, ErrShort
+	}
+	n := int(binary.BigEndian.Uint16(block))
+	if n > MaxSummaryKeys {
+		return 0, fmt.Errorf("%w: %d summary keys", ErrTooLarge, n)
+	}
+	// Validate the whole key list before visiting any of it, so a
+	// datagram truncated mid-list renews nothing (exactly like the
+	// copying decoder).
+	scan := block[2:]
+	for i := 0; i < n; i++ {
+		if len(scan) < 2 {
+			return 0, ErrShort
+		}
+		kl := int(binary.BigEndian.Uint16(scan))
+		if kl > MaxKeyLen {
+			return 0, fmt.Errorf("%w: summary key %d bytes", ErrTooLarge, kl)
+		}
+		scan = scan[2:]
+		if len(scan) < kl {
+			return 0, ErrShort
+		}
+		scan = scan[kl:]
+	}
+	if len(scan) != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes", ErrSummary, len(scan))
+	}
+	block = block[2:]
+	for i := 0; i < n; i++ {
+		kl := int(binary.BigEndian.Uint16(block))
+		visit(seq, block[2:2+kl])
+		block = block[2+kl:]
+	}
+	return seq, nil
+}
+
 // UnmarshalBinary decodes data into m. The key and value are copied, so m
 // does not alias data after return.
 func (m *Message) UnmarshalBinary(data []byte) error {
