@@ -1,9 +1,10 @@
 // Command bench runs the repo's headline performance benchmarks — the
-// virtual-time live fan-out, the churned single-hop experiment, and the
-// raw state-table renew path — and writes the results as a JSON
-// trajectory file (BENCH_4.json and successors), so every future PR can
-// show its perf delta against a recorded baseline instead of a number in
-// a commit message.
+// virtual-time live fan-out, the churned single-hop experiment, the raw
+// state-table renew path, and one live fan-out row per protocol variant
+// (SS → HS) — and writes the results as a JSON trajectory file
+// (BENCH_5.json and successors), so every future PR can show its perf
+// delta against a recorded baseline instead of a number in a commit
+// message.
 //
 // Usage:
 //
@@ -24,6 +25,7 @@ import (
 	"softstate/internal/signal"
 	"softstate/internal/sim"
 	"softstate/internal/statetable"
+	"softstate/internal/variant"
 )
 
 // entry is one benchmark's recorded numbers.
@@ -39,6 +41,14 @@ type entry struct {
 	// VirtualPerWallSec is how many simulated seconds one wall second
 	// buys on this workload.
 	VirtualPerWallSec float64 `json:"virtual_s_per_wall_s,omitempty"`
+	// Protocol labels per-variant rows (SS … HS).
+	Protocol string `json:"protocol,omitempty"`
+	// HeldKeys is the state still installed at the end of a variant
+	// fan-out run (all of it, when the lifetime mechanism worked).
+	HeldKeys int `json:"held_keys,omitempty"`
+	// DatagramsPerKeySec is the steady-state wire cost of holding one key
+	// for one simulated second under this variant.
+	DatagramsPerKeySec float64 `json:"datagrams_per_key_per_virtual_s,omitempty"`
 }
 
 // trajectory is the whole output file.
@@ -53,11 +63,11 @@ type trajectory struct {
 
 func main() {
 	short := flag.Bool("short", false, "run scaled-down benchmarks (CI smoke mode)")
-	out := flag.String("out", "BENCH_4.json", "output file")
+	out := flag.String("out", "BENCH_5.json", "output file")
 	flag.Parse()
 
 	tr := trajectory{
-		Issue:     4,
+		Issue:     5,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Go:        runtime.Version(),
 		CPUs:      runtime.NumCPU(),
@@ -66,6 +76,7 @@ func main() {
 	tr.Benchmarks = append(tr.Benchmarks, liveFanout(*short))
 	tr.Benchmarks = append(tr.Benchmarks, singleHop(*short))
 	tr.Benchmarks = append(tr.Benchmarks, statetableRenew(*short))
+	tr.Benchmarks = append(tr.Benchmarks, variantFanout(*short)...)
 
 	data, err := json.MarshalIndent(tr, "", "  ")
 	if err != nil {
@@ -88,6 +99,9 @@ func (e entry) summary() string {
 	}
 	if e.VirtualPerWallSec > 0 {
 		s += fmt.Sprintf(", %.3f virtual-s/wall-s", e.VirtualPerWallSec)
+	}
+	if e.Protocol != "" {
+		s += fmt.Sprintf(", %d held, %.2f dgrams/key/s", e.HeldKeys, e.DatagramsPerKeySec)
 	}
 	return s
 }
@@ -195,6 +209,49 @@ func statetableRenew(short bool) entry {
 		AllocsPerOp: uint64(res.AllocsPerOp()),
 		BytesPerOp:  uint64(res.AllocedBytesPerOp()),
 	}
+}
+
+// variantFanout runs the live fan-out once per protocol variant: the same
+// node/receiver topology, switched between the five paper protocols by
+// the variant layer. The rows record what each variant's lifetime
+// mechanism costs on the wire (refresh or probe traffic per key) and
+// prove every variant holds the full key population.
+func variantFanout(short bool) []entry {
+	base := sim.FanoutConfig{
+		Peers:           16,
+		Keys:            1024,
+		RefreshInterval: 100 * time.Millisecond,
+		Duration:        time.Second,
+	}
+	if short {
+		base.Peers, base.Keys = 4, 256
+	}
+	out := make([]entry, 0, 5)
+	for _, prof := range variant.All() {
+		cfg := base
+		cfg.Protocol = prof.Proto
+		start := time.Now()
+		res, err := sim.RunLiveFanout(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		wall := time.Since(start)
+		vsec := cfg.Duration.Seconds()
+		e := entry{
+			Name:               "variant-fanout",
+			Protocol:           prof.Name,
+			Config:             fmt.Sprintf("%s: %d peers x %d keys, R=%s", prof.Name, cfg.Peers, cfg.Keys, cfg.RefreshInterval),
+			NsPerOp:            float64(wall.Nanoseconds()),
+			VirtualPerWallSec:  vsec / wall.Seconds(),
+			HeldKeys:           res.Held,
+			DatagramsPerKeySec: float64(res.Datagrams) / float64(cfg.Peers*cfg.Keys) / vsec,
+		}
+		if res.KeysRenewed > 0 {
+			e.KeysRefreshedPerSec = float64(res.KeysRenewed) / wall.Seconds()
+		}
+		out = append(out, e)
+	}
+	return out
 }
 
 func fatal(err error) {

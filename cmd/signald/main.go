@@ -25,11 +25,17 @@
 //	    over a single socket (per-destination sessions, one summary
 //	    stream per peer with -summary-refresh).
 //
+// The protocol is selected with -protocol (any spelling variant.Parse
+// accepts, e.g. -protocol ss+rtr) or the legacy -proto; both resolve to
+// a variant.Profile, the one knob that switches every mechanism (refresh,
+// explicit removal, reliable trigger/removal, hard-state orphan probes).
+//
 // Scaling knobs: -shards sets the state-table shard count (one lock and
 // one timing-wheel goroutine per shard), -summary-refresh batches up to
 // -summary-keys key renewals into each refresh datagram (RFC 2961-style
-// refresh reduction), and -coalesce-acks batches a receiver's replies
-// into one ack-batch datagram per peer per flush tick.
+// refresh reduction), -coalesce-acks batches a receiver's replies into
+// one ack-batch datagram per peer per flush tick, and -peer-idle bounds
+// the fan-out peer table by evicting idle empty sessions.
 package main
 
 import (
@@ -45,23 +51,27 @@ import (
 	"softstate/internal/lossy"
 	"softstate/internal/node"
 	sig "softstate/internal/signal"
-	"softstate/internal/singlehop"
+	"softstate/internal/variant"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "demo", "serve, send, relay, or demo")
-		proto   = flag.String("proto", "SS+ER", "protocol: SS, SS+ER, SS+RT, SS+RTR, HS")
-		addr    = flag.String("addr", "127.0.0.1:7413", "listen address (serve, relay)")
-		peer    = flag.String("peer", "127.0.0.1:7413", "receiver address (send); next hop (relay)")
-		peers   = flag.String("peers", "", "comma-separated receiver addresses for multi-peer fan-out (send)")
-		key     = flag.String("key", "demo/key", "state key (send)")
-		value   = flag.String("value", "hello", "state value (send)")
-		count   = flag.Int("count", 1, "keys installed per peer in fan-out mode (send with -peers)")
-		hold    = flag.Duration("hold", 20*time.Second, "how long to maintain state (send)")
-		refresh = flag.Duration("refresh", 2*time.Second, "refresh interval R")
-		loss    = flag.Float64("loss", 0.2, "channel loss probability (demo)")
-		shards  = flag.Int("shards", 0, "state-table shard count (power of two; 0 = default)")
+		mode     = flag.String("mode", "demo", "serve, send, relay, or demo")
+		proto    = flag.String("proto", "SS+ER", "protocol: SS, SS+ER, SS+RT, SS+RTR, HS")
+		protocol = flag.String("protocol", "",
+			"protocol variant (ss, ss+er, ss+rt, ss+rtr, hs; any spelling variant.Parse accepts); overrides -proto")
+		addr     = flag.String("addr", "127.0.0.1:7413", "listen address (serve, relay)")
+		peer     = flag.String("peer", "127.0.0.1:7413", "receiver address (send); next hop (relay)")
+		peers    = flag.String("peers", "", "comma-separated receiver addresses for multi-peer fan-out (send)")
+		key      = flag.String("key", "demo/key", "state key (send)")
+		value    = flag.String("value", "hello", "state value (send)")
+		count    = flag.Int("count", 1, "keys installed per peer in fan-out mode (send with -peers)")
+		hold     = flag.Duration("hold", 20*time.Second, "how long to maintain state (send)")
+		refresh  = flag.Duration("refresh", 2*time.Second, "refresh interval R")
+		loss     = flag.Float64("loss", 0.2, "channel loss probability (demo)")
+		shards   = flag.Int("shards", 0, "state-table shard count (power of two; 0 = default)")
+		peerIdle = flag.Duration("peer-idle", 0,
+			"evict sender sessions idle (no keys, no traffic) this long; 0 keeps them forever")
 		summary = flag.Bool("summary-refresh", false,
 			"batch refreshes into summary datagrams (RFC 2961-style refresh reduction)")
 		summaryKeys = flag.Int("summary-keys", 64, "max keys per summary datagram")
@@ -70,13 +80,18 @@ func main() {
 	)
 	flag.Parse()
 
-	p, err := parseProto(*proto)
+	name := *proto
+	if *protocol != "" {
+		name = *protocol
+	}
+	prof, err := variant.Parse(name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "signald:", err)
 		os.Exit(2)
 	}
 	cfg := sig.Config{
-		Protocol:        p,
+		Protocol:        prof.Proto,
+		Variant:         &prof,
 		RefreshInterval: *refresh,
 		Timeout:         3 * *refresh,
 		Retransmit:      200 * time.Millisecond,
@@ -84,6 +99,7 @@ func main() {
 		SummaryRefresh:  *summary,
 		SummaryMaxKeys:  *summaryKeys,
 		CoalesceAcks:    *coalesce,
+		PeerIdleTimeout: *peerIdle,
 	}
 
 	switch *mode {
@@ -127,15 +143,6 @@ func splitPeers(list string) []string {
 		}
 	}
 	return out
-}
-
-func parseProto(name string) (sig.Protocol, error) {
-	for _, p := range singlehop.Protocols() {
-		if strings.EqualFold(p.String(), name) {
-			return p, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown protocol %q", name)
 }
 
 func serve(addr string, cfg sig.Config) error {

@@ -4,9 +4,12 @@ import (
 	"testing"
 
 	"softstate/internal/singlehop"
+	"softstate/internal/variant"
 )
 
-func TestParseProto(t *testing.T) {
+// TestProtoFlagSpellings: both -proto and -protocol resolve through
+// variant.Parse, so the paper spellings keep working.
+func TestProtoFlagSpellings(t *testing.T) {
 	cases := map[string]singlehop.Protocol{
 		"SS":     singlehop.SS,
 		"ss+er":  singlehop.SSER,
@@ -15,12 +18,12 @@ func TestParseProto(t *testing.T) {
 		"hs":     singlehop.HS,
 	}
 	for in, want := range cases {
-		got, err := parseProto(in)
-		if err != nil || got != want {
-			t.Fatalf("parseProto(%q) = %v, %v", in, got, err)
+		prof, err := variant.Parse(in)
+		if err != nil || prof.Proto != want {
+			t.Fatalf("variant.Parse(%q) = %v, %v", in, prof.Proto, err)
 		}
 	}
-	if _, err := parseProto("tcp"); err == nil {
+	if _, err := variant.Parse("tcp"); err == nil {
 		t.Fatal("unknown protocol accepted")
 	}
 }

@@ -7,6 +7,13 @@
 //	sigsim -proto SS+ER -lifetime 600 -loss 0.05
 //	sigsim -proto HS -analytic-only
 //	sigsim -multihop -proto SS+RT -hops 12 -horizon 20000
+//	sigsim -live -proto all -loss 0.15
+//
+// The -live mode leaves the abstract state machines behind entirely: it
+// runs the requested protocols on the real wire stack (signal.Sender /
+// signal.Receiver over a lossy pipe, retransmission backoff, hard-state
+// orphan probes) under a virtual clock — the paper's five-way comparison
+// on production code, deterministic per seed.
 package main
 
 import (
@@ -14,8 +21,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"softstate/internal/core"
+	"softstate/internal/sim"
+	"softstate/internal/variant"
 )
 
 func main() {
@@ -33,12 +43,23 @@ func main() {
 		timers    = flag.String("timers", "deterministic", "timer distribution: deterministic, exponential, jitter")
 		anaOnly   = flag.Bool("analytic-only", false, "skip simulation")
 		multihop  = flag.Bool("multihop", false, "run the multi-hop study instead of single-hop")
+		live      = flag.Bool("live", false, "run the real wire stack in virtual time instead of the abstract simulator")
+		liveKeys  = flag.Int("live-keys", 24, "concurrently signaled keys (live)")
+		liveDur   = flag.Duration("live-duration", 60*time.Second, "virtual experiment length (live)")
 		hops      = flag.Int("hops", 20, "path length N (multi-hop)")
 		horizon   = flag.Float64("horizon", 50000, "simulated seconds per run (multi-hop)")
 		runs      = flag.Int("runs", 3, "independent replications (multi-hop)")
 		alpha     = flag.Float64("alpha", 10, "inconsistency cost weight α for C = α·I + Λ")
 	)
 	flag.Parse()
+
+	if *live {
+		if err := runLive(*protoName, *liveKeys, *loss, *delay, *hops, *liveDur, *seed, *multihop); err != nil {
+			fmt.Fprintln(os.Stderr, "sigsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	protos, err := parseProtocols(*protoName, *multihop)
 	if err != nil {
@@ -78,6 +99,53 @@ func main() {
 		p.Retransmit = *retx
 	}
 	runSinglehop(protos, p, *anaOnly, *sessions, *seed, kind, *alpha)
+}
+
+// runLive executes the requested protocols on the real runtime in virtual
+// time: R = 100 ms with the paper's R:T:Γ ratios, churned keys, and the
+// external false-removal signal, single hop unless -multihop gives a
+// chain length. Timers are scaled (not the wall-clock paper values) so a
+// minute of virtual time spans many session lifetimes.
+func runLive(protoName string, keys int, loss, delay float64, hops int, dur time.Duration, seed uint64, multihop bool) error {
+	base := sim.LiveConfig{
+		Hops:            1,
+		Keys:            keys,
+		Loss:            loss,
+		Delay:           time.Duration(delay * float64(time.Second)),
+		RefreshInterval: 100 * time.Millisecond,
+		MeanLifetime:    3 * time.Second,
+		MeanGap:         time.Second,
+		MeanFalseSignal: 2 * time.Second,
+		Duration:        dur,
+		Seed:            seed,
+	}
+	if multihop {
+		base.Hops = hops
+	}
+	var profiles []variant.Profile
+	if strings.EqualFold(protoName, "all") {
+		profiles = variant.All()
+	} else {
+		prof, err := variant.Parse(protoName)
+		if err != nil {
+			return err
+		}
+		profiles = []variant.Profile{prof}
+	}
+	fmt.Printf("live stack (virtual time): %d keys, %d hop(s), pl=%.3g, D=%v, R=%v, %v per run\n\n",
+		base.Keys, base.Hops, base.Loss, base.Delay, base.RefreshInterval, base.Duration)
+	fmt.Printf("%-8s %10s %14s %12s   %s\n", "proto", "live I", "dgrams/key/s", "machinery", "mechanisms")
+	for _, prof := range profiles {
+		cfg := base
+		cfg.Protocol = prof.Proto
+		r, err := sim.RunLive(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %10.5f %14.2f %12d   %s\n",
+			prof.Name, r.Inconsistency, r.Rate, r.Machinery(), prof.Mechanisms())
+	}
+	return nil
 }
 
 func parseProtocols(name string, multihop bool) ([]core.Protocol, error) {

@@ -85,6 +85,11 @@ func (n *Node) Stats() signal.Stats { return n.ss.Stats() }
 // with no session (late replies from dropped peers, or strays).
 func (n *Node) Unknown() int { return int(n.unknown.Load()) }
 
+// Evictions reports how many idle peer sessions have been dropped from
+// the per-destination table (Config.PeerIdleTimeout); evicted peers are
+// re-admitted — with their sequence space resumed — on their next use.
+func (n *Node) Evictions() int { return n.ss.Evictions() }
+
 // SummarySweep sends one summary-refresh round for every peer now and
 // returns the datagram count; see signal.Sessions.SummarySweep.
 func (n *Node) SummarySweep() int { return n.ss.SummarySweep() }

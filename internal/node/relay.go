@@ -70,7 +70,7 @@ func (r *Relay) onUpstream(ev signal.Event) {
 		if err := r.down.Install(r.next, ev.Key, ev.Value); err != nil {
 			r.errs.Add(1)
 		}
-	case signal.EventRemoved, signal.EventExpired, signal.EventFalseRemoval:
+	case signal.EventRemoved, signal.EventExpired, signal.EventFalseRemoval, signal.EventOrphaned:
 		r.relayed.Add(1)
 		if err := r.down.Remove(r.next, ev.Key); err != nil {
 			// Unknown keys are expected: a removal can outrun an install

@@ -11,6 +11,7 @@ import (
 	"softstate/internal/bufpool"
 	"softstate/internal/clock"
 	"softstate/internal/statetable"
+	"softstate/internal/variant"
 	"softstate/internal/wire"
 )
 
@@ -23,10 +24,11 @@ import (
 // state-timeout deadline, so one Receiver holds millions of keys with a
 // fixed number of goroutines. All methods are safe for concurrent use.
 type Receiver struct {
-	tp  transport
-	cfg Config
-	clk clock.Clock
-	det bool // virtual clock: order traffic deterministically
+	tp   transport
+	cfg  Config
+	prof variant.Profile
+	clk  clock.Clock
+	det  bool // virtual clock: order traffic deterministically
 
 	tbl    *statetable.Table[receiverEntry]
 	idx    keyIndex // secondary key→entries index for any-sender lookups
@@ -47,6 +49,9 @@ type receiverEntry struct {
 	value   []byte
 	lastSeq uint64
 	peer    net.Addr
+	// probeMisses counts consecutive unanswered liveness probes (hard
+	// state only); MaxProbeMisses of them orphan the entry.
+	probeMisses int
 }
 
 // rkey builds the (peer, key) table key. Address strings contain no NUL
@@ -64,6 +69,7 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 	r := &Receiver{
 		tp:     transport{conn: conn},
 		cfg:    cfg,
+		prof:   *cfg.Variant,
 		clk:    clk,
 		det:    clk.Virtual(),
 		events: eventSink{ch: make(chan Event, cfg.EventBuffer), fn: cfg.OnEvent},
@@ -302,8 +308,9 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 				e.lastSeq = m.Seq
 				e.value = m.Value
 			}
+			e.probeMisses = 0 // any traffic for the key proves liveness
 			r.armTimeout(tc)
-			if m.Type == wire.TypeTrigger && r.cfg.Protocol.ReliableTrigger() {
+			if m.Type == wire.TypeTrigger && r.prof.ReliableTrigger {
 				r.ack(wire.TypeAck, m.Seq, m.Key, from)
 			}
 		})
@@ -315,34 +322,74 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 		})
 		// ACK removals even for unknown keys: the state may have timed out
 		// while the sender kept retransmitting.
-		if r.cfg.Protocol.ReliableRemoval() {
+		if r.prof.ReliableRemoval {
 			r.ack(wire.TypeRemovalAck, m.Seq, m.Key, from)
 		}
+	case wire.TypeProbeAck:
+		// The key's sender answered a liveness probe: clear the miss
+		// counter and push the next probe a full interval out.
+		r.tbl.Update(rkey(from.String(), m.Key), func(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+			e.probeMisses = 0
+			if r.prof.HardState {
+				tc.Schedule(timerProbe, r.cfg.ProbeInterval)
+			}
+		})
 	}
 	// wire.TypeSummaryRefresh never reaches here: the read loop routes it
 	// to handleSummaryFast before the generic decode.
 }
 
 func (r *Receiver) armTimeout(tc statetable.TimerControl[receiverEntry]) {
-	if !r.cfg.Protocol.Refreshes() {
-		return // hard state never times out
+	if r.prof.HardState {
+		// Hard state never times out; its lifetime guard is the orphan
+		// probe instead.
+		tc.Schedule(timerProbe, r.cfg.ProbeInterval)
+		return
+	}
+	if !r.prof.Refresh {
+		return
 	}
 	tc.Schedule(timerTimeout, r.cfg.Timeout)
 }
 
-// onTimeout fires when a key's state-timeout expires; it runs on a shard
-// goroutine with the shard locked.
-func (r *Receiver) onTimeout(_ string, _ statetable.TimerKind, e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+// onTimeout fires when a key's state-timeout (soft state) or probe timer
+// (hard state) expires; it runs on a shard goroutine with the shard
+// locked.
+func (r *Receiver) onTimeout(_ string, kind statetable.TimerKind, e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
 	if r.closed.Load() {
+		return
+	}
+	if kind == timerProbe {
+		r.probeOrOrphan(e, tc)
 		return
 	}
 	key, peer := e.key, e.peer
 	r.drop(e, tc, EventExpired)
 	// SS+RT and SS+RTR notify the sender of timeout removals so false
 	// removals are repaired promptly.
-	if r.cfg.Protocol.ReliableTrigger() && r.cfg.Protocol != HS {
+	if r.prof.ReliableTrigger {
 		r.send(wire.Message{Type: wire.TypeNotify, Key: key}, peer)
 	}
+}
+
+// probeOrOrphan drives the hard-state orphan detector for one entry: ask
+// the sender for proof of life, and after MaxProbeMisses consecutive
+// silences remove the state explicitly — the paper's HS failure-cleanup
+// dependence on an external removal signal, realized as liveness probing.
+// The removal is announced with a best-effort notify so a live sender
+// that was wrongly declared dead (every probe or ack lost) repairs
+// through the usual notify → re-trigger path; a dead one stays silent,
+// which is the point.
+func (r *Receiver) probeOrOrphan(e *receiverEntry, tc statetable.TimerControl[receiverEntry]) {
+	if e.probeMisses >= r.cfg.MaxProbeMisses {
+		key, peer := e.key, e.peer
+		r.drop(e, tc, EventOrphaned)
+		r.send(wire.Message{Type: wire.TypeNotify, Key: key}, peer)
+		return
+	}
+	e.probeMisses++
+	r.send(wire.Message{Type: wire.TypeProbe, Seq: e.lastSeq, Key: e.key}, e.peer)
+	tc.Schedule(timerProbe, r.cfg.ProbeInterval)
 }
 
 // drop removes an entry (and its index slot) and emits the given event;

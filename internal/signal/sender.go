@@ -13,11 +13,14 @@ import (
 var ErrClosed = errors.New("signal: endpoint closed")
 
 // Timer slots in the state table: senders arm refresh and retransmit,
-// receivers arm state-timeout.
+// receivers arm state-timeout (soft state) or the orphan probe (hard
+// state) — each role uses both slots at most once, so the table's two
+// embedded timer nodes cover every variant.
 const (
 	timerRefresh statetable.TimerKind = 0
 	timerRetx    statetable.TimerKind = 1
 	timerTimeout statetable.TimerKind = 0
+	timerProbe   statetable.TimerKind = 1
 )
 
 // Sender installs and maintains keyed state at a single remote Receiver:

@@ -12,6 +12,7 @@ import (
 	"softstate/internal/bufpool"
 	"softstate/internal/clock"
 	"softstate/internal/statetable"
+	"softstate/internal/variant"
 	"softstate/internal/wire"
 )
 
@@ -27,10 +28,12 @@ import (
 // multi-peer Node (and relay chains) on the same core by demultiplexing
 // one net.PacketConn across many Sessions.
 type Sessions struct {
-	cfg Config
-	tp  transport
-	clk clock.Clock
-	det bool // virtual clock: order traffic deterministically
+	cfg  Config
+	prof variant.Profile
+	tp   transport
+	clk  clock.Clock
+	det  bool      // virtual clock: order traffic deterministically
+	born time.Time // clock origin for session activity stamps
 
 	tbl    *statetable.Table[senderEntry]
 	live   atomic.Int64 // live keys across all sessions
@@ -39,15 +42,18 @@ type Sessions struct {
 
 	events eventSink
 	done   chan struct{}
-	wg     sync.WaitGroup // summary sweeper (wall mode)
+	wg     sync.WaitGroup // summary sweeper + idle reaper (wall mode)
 
 	sweepTimer clock.Timer // summary sweeper (virtual mode)
 	sweepMu    sync.Mutex  // serializes sweeps and guards session sweep caches
 
+	reapTimer clock.Timer  // idle-peer reaper (virtual mode)
+	evictions atomic.Int64 // idle sessions evicted from the peer table
+
 	// sweepSessions caches the id-sorted session list (under sweepMu),
-	// rebuilt only when peersDirty reports a session was added — sessions
-	// are never removed, so a steady-state sweep re-lists and re-sorts
-	// nothing.
+	// rebuilt only when peersDirty reports the peer table changed — a
+	// session added, reattached, or evicted by the idle reaper all set
+	// the flag — so a steady-state sweep re-lists and re-sorts nothing.
 	sweepSessions []*Session
 	peersDirty    atomic.Bool
 
@@ -63,7 +69,27 @@ const peerShardCount = 16
 type peerShard struct {
 	mu sync.RWMutex
 	m  map[string]*Session
+	// retired remembers the last sequence number of each evicted session
+	// so a returning peer's new session resumes the address's sequence
+	// space instead of restarting it (receivers discard lower-seq
+	// payloads as stale retransmissions). Entries are pruned by the
+	// reaper after retiredTTLFactor further idle periods — by then any
+	// receiver-side state for the silent peer has long expired or been
+	// orphan-probed away (PeerIdleTimeout is documented to exceed the
+	// timeout), so a later return may safely restart at zero and the map
+	// never grows past the recently-evicted set.
+	retired map[string]retiredPeer
 }
+
+// retiredPeer is one evicted address's sequence-space bookmark.
+type retiredPeer struct {
+	seq uint64
+	at  time.Duration // clock offset of the eviction
+}
+
+// retiredTTLFactor is how many idle periods a retired bookmark outlives
+// its eviction before the reaper prunes it.
+const retiredTTLFactor = 4
 
 // Session is one peer's sender session: its address, its private sequence
 // space, and its live-key count. All per-key state (refresh, retransmit,
@@ -76,6 +102,16 @@ type Session struct {
 	peer net.Addr
 	seq  atomic.Uint64
 	live atomic.Int64
+
+	// Idle-eviction bookkeeping: tabled counts this session's entries in
+	// the shared table (live and removing — a session with pending
+	// removal acks is never evicted), lastActive is the clock offset of
+	// the last API call or inbound message, and gone marks a session the
+	// reaper dropped from the peer table (a later Install re-registers
+	// it).
+	tabled     atomic.Int64
+	lastActive atomic.Int64
+	gone       atomic.Bool
 
 	// Summary-sweep cache: the sorted live user keys of this session, so
 	// steady-state sweeps neither scan the shared table nor re-sort. The
@@ -120,9 +156,11 @@ func NewSessions(conn net.PacketConn, cfg Config) *Sessions {
 	clk := clock.Or(cfg.Clock)
 	ss := &Sessions{
 		cfg:    cfg,
+		prof:   *cfg.Variant,
 		tp:     transport{conn: conn},
 		clk:    clk,
 		det:    clk.Virtual(),
+		born:   clk.Now(),
 		events: eventSink{ch: make(chan Event, cfg.EventBuffer), fn: cfg.OnEvent},
 		done:   make(chan struct{}),
 	}
@@ -145,12 +183,23 @@ func NewSessions(conn net.PacketConn, cfg Config) *Sessions {
 			go ss.summaryLoop()
 		}
 	}
+	if cfg.PeerIdleTimeout > 0 {
+		if ss.det {
+			ss.reapTimer = clk.AfterFunc(ss.reapInterval(), ss.reapVirtual)
+		} else {
+			ss.wg.Add(1)
+			go ss.reapLoop()
+		}
+	}
 	return ss
 }
 
+// Profile returns the mechanism bundle the sessions speak.
+func (ss *Sessions) Profile() variant.Profile { return ss.prof }
+
 // summaryMode reports whether refreshes are batched into summaries.
 func (ss *Sessions) summaryMode() bool {
-	return ss.cfg.SummaryRefresh && ss.cfg.Protocol.Refreshes()
+	return ss.cfg.SummaryRefresh && ss.prof.Refresh
 }
 
 // peerShardOf picks the peer-table shard for an address string.
@@ -176,6 +225,14 @@ func (ss *Sessions) Session(peer net.Addr) *Session {
 		return s
 	}
 	s = &Session{ss: ss, id: ss.nextID.Add(1), peer: peer}
+	if rp, ok := sh.retired[addr]; ok {
+		// A previously evicted peer returned: resume its sequence space so
+		// receivers do not mistake the new session's traffic for stale
+		// retransmissions of the old one.
+		s.seq.Store(rp.seq)
+		delete(sh.retired, addr)
+	}
+	s.lastActive.Store(int64(ss.clk.Since(ss.born)))
 	sh.m[addr] = s
 	ss.peersDirty.Store(true)
 	return s
@@ -242,6 +299,9 @@ func (ss *Sessions) Shutdown() error {
 	close(ss.done)
 	if ss.sweepTimer != nil {
 		ss.sweepTimer.Stop()
+	}
+	if ss.reapTimer != nil {
+		ss.reapTimer.Stop()
 	}
 	ss.tbl.Close() // no expiry callback runs past this point
 	err := ss.tp.close()
@@ -310,6 +370,7 @@ func (s *Session) put(key string, value []byte, kind EventKind) error {
 	if ss.closed.Load() {
 		return ErrClosed
 	}
+	s.touch()
 	v := make([]byte, len(value))
 	copy(v, value)
 	err := error(nil)
@@ -324,6 +385,9 @@ func (s *Session) put(key string, value []byte, kind EventKind) error {
 			}
 			err = ErrClosed
 			return
+		}
+		if created {
+			s.tabled.Add(1)
 		}
 		if created || e.removing {
 			s.live.Add(1)
@@ -340,6 +404,9 @@ func (s *Session) put(key string, value []byte, kind EventKind) error {
 		ss.armRefresh(tc)
 		ss.emit(Event{Kind: kind, Key: key, Value: e.value, Seq: e.seq, Peer: s.peer})
 	})
+	if err == nil && s.gone.Load() {
+		ss.reattach(s)
+	}
 	return err
 }
 
@@ -351,6 +418,7 @@ func (s *Session) Remove(key string) error {
 	if ss.closed.Load() {
 		return ErrClosed
 	}
+	s.touch()
 	known := false
 	err := error(nil)
 	ss.tbl.Update(s.key(key), func(e *senderEntry, tc statetable.TimerControl[senderEntry]) {
@@ -367,8 +435,8 @@ func (s *Session) Remove(key string) error {
 		s.sweepDirty.Store(true)
 		tc.Cancel(timerRefresh)
 		tc.Cancel(timerRetx)
-		if !ss.cfg.Protocol.ExplicitRemoval() {
-			tc.Delete()
+		if !ss.prof.ExplicitRemoval {
+			ss.deleteEntry(s, tc)
 			ss.emit(Event{Kind: EventRemoved, Key: key, Peer: s.peer})
 			return
 		}
@@ -377,10 +445,10 @@ func (s *Session) Remove(key string) error {
 		e.retries = 0
 		e.value = nil
 		ss.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key}, s.peer)
-		if ss.cfg.Protocol.ReliableRemoval() {
+		if ss.prof.ReliableRemoval {
 			tc.Schedule(timerRetx, ss.cfg.Retransmit)
 		} else {
-			tc.Delete()
+			ss.deleteEntry(s, tc)
 			ss.emit(Event{Kind: EventRemoved, Key: key, Peer: s.peer})
 		}
 	})
@@ -410,18 +478,42 @@ func (s *Session) Keys() []string {
 // armRefresh schedules the next per-key refresh; in summary mode the
 // sweeper carries refreshes instead, so no per-key deadline exists.
 func (ss *Sessions) armRefresh(tc statetable.TimerControl[senderEntry]) {
-	if !ss.cfg.Protocol.Refreshes() || ss.summaryMode() {
+	if !ss.prof.Refresh || ss.summaryMode() {
 		return
 	}
 	tc.Schedule(timerRefresh, ss.refreshInterval())
 }
 
 func (ss *Sessions) armTriggerRetx(tc statetable.TimerControl[senderEntry]) {
-	if !ss.cfg.Protocol.ReliableTrigger() {
+	if !ss.prof.ReliableTrigger {
 		tc.Cancel(timerRetx) // a reinstall may race a pending removal retx
 		return
 	}
 	tc.Schedule(timerRetx, ss.cfg.Retransmit)
+}
+
+// retxDelay is the retransmission engine's backoff schedule: the wait
+// after n unacked attempts is Γ·bⁿ, capped at RetransmitMax, so a dead or
+// partitioned peer costs geometrically less traffic while an ACK (which
+// resets the attempt counter) restores the fast timer instantly. The
+// delays ride the entry's wheel timer — no per-message allocation.
+func (ss *Sessions) retxDelay(attempts int) time.Duration {
+	d := ss.cfg.Retransmit
+	for i := 0; i < attempts && d < ss.cfg.RetransmitMax; i++ {
+		d = time.Duration(float64(d) * ss.cfg.RetransmitBackoff)
+	}
+	if d > ss.cfg.RetransmitMax {
+		d = ss.cfg.RetransmitMax
+	}
+	return d
+}
+
+// deleteEntry removes a session's entry from the shared table, keeping
+// the per-session entry counter (the idle-eviction guard) in step.
+// Callers hold the entry's shard lock via tc.
+func (ss *Sessions) deleteEntry(s *Session, tc statetable.TimerControl[senderEntry]) {
+	tc.Delete()
+	s.tabled.Add(-1)
 }
 
 // refreshInterval returns the per-key refresh interval, stretched when an
@@ -473,20 +565,20 @@ func (ss *Sessions) triggerRetx(key string, e *senderEntry, tc statetable.TimerC
 	}
 	e.retries++
 	ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, e.sess.peer)
-	tc.Schedule(timerRetx, ss.cfg.Retransmit)
+	tc.Schedule(timerRetx, ss.retxDelay(e.retries))
 }
 
 func (ss *Sessions) removalRetx(key string, e *senderEntry, tc statetable.TimerControl[senderEntry]) {
 	if ss.cfg.MaxRetransmits > 0 && e.retries >= ss.cfg.MaxRetransmits {
 		seq := e.removalSeq
 		peer := e.sess.peer
-		tc.Delete()
+		ss.deleteEntry(e.sess, tc)
 		ss.emit(Event{Kind: EventGaveUp, Key: key, Seq: seq, Peer: peer})
 		return
 	}
 	e.retries++
 	ss.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key}, e.sess.peer)
-	tc.Schedule(timerRetx, ss.cfg.Retransmit)
+	tc.Schedule(timerRetx, ss.retxDelay(e.retries))
 }
 
 // --- summary refresh (RFC 2961-style refresh reduction) ---
@@ -612,6 +704,7 @@ func (s *Session) Handle(m wire.Message) {
 	if ss.closed.Load() {
 		return
 	}
+	s.touch()
 	ss.ctrs.received[m.Type].Add(1)
 	switch m.Type {
 	case wire.TypeAck:
@@ -639,7 +732,23 @@ func (s *Session) Handle(m wire.Message) {
 		for _, key := range m.Keys {
 			s.retrigger(key)
 		}
+	case wire.TypeProbe:
+		// The receiver's hard-state orphan detector asks whether we still
+		// own this key. Answer only if we do: silence is what lets a dead
+		// (or withdrawn) sender's state be cleaned up.
+		s.handleProbe(m.Seq, m.Key)
 	}
+}
+
+// handleProbe answers a liveness probe for a key this session still owns.
+func (s *Session) handleProbe(seq uint64, key string) {
+	ss := s.ss
+	ss.tbl.Update(s.key(key), func(e *senderEntry, _ statetable.TimerControl[senderEntry]) {
+		if e.removing {
+			return
+		}
+		ss.send(wire.Message{Type: wire.TypeProbeAck, Seq: seq, Key: key}, s.peer)
+	})
 }
 
 func (s *Session) handleAck(seq uint64, key string) {
@@ -666,9 +775,110 @@ func (s *Session) handleRemovalAck(seq uint64, key string) {
 			return
 		}
 		tc.Cancel(timerRetx)
-		tc.Delete()
+		ss.deleteEntry(s, tc)
 		ss.emit(Event{Kind: EventRemoved, Key: key, Peer: s.peer})
 	})
+}
+
+// --- idle peer lifecycle ---
+
+// touch stamps the session as active; the reaper only considers sessions
+// whose last activity is a full PeerIdleTimeout old.
+func (s *Session) touch() {
+	if s.ss.cfg.PeerIdleTimeout > 0 {
+		s.lastActive.Store(int64(s.ss.clk.Since(s.ss.born)))
+	}
+}
+
+// Evictions reports how many idle sessions the reaper has dropped from
+// the peer table since start.
+func (ss *Sessions) Evictions() int { return int(ss.evictions.Load()) }
+
+// reapInterval is the eviction scan period: a quarter of the idle
+// timeout, so eviction lands within 1.25× the configured quiet period.
+func (ss *Sessions) reapInterval() time.Duration {
+	ri := ss.cfg.PeerIdleTimeout / 4
+	if ri <= 0 {
+		ri = ss.cfg.PeerIdleTimeout
+	}
+	return ri
+}
+
+// reapLoop is the wall-mode idle reaper.
+func (ss *Sessions) reapLoop() {
+	defer ss.wg.Done()
+	timer := time.NewTimer(ss.reapInterval())
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			ss.reapIdle()
+			timer.Reset(ss.reapInterval())
+		case <-ss.done:
+			return
+		}
+	}
+}
+
+// reapVirtual is the virtual-mode reaper: one clock callback per scan.
+func (ss *Sessions) reapVirtual() {
+	if ss.closed.Load() {
+		return
+	}
+	ss.reapIdle()
+	ss.reapTimer.Reset(ss.reapInterval())
+}
+
+// reapIdle drops every session that owns no table entries (no live keys,
+// no pending removals) and has been quiet for PeerIdleTimeout, bounding
+// the peer table under churn. The evicted address's sequence space is
+// retired in the shard so a returning peer resumes it.
+func (ss *Sessions) reapIdle() {
+	now := ss.clk.Since(ss.born)
+	idle := ss.cfg.PeerIdleTimeout
+	for i := range ss.peers {
+		sh := &ss.peers[i]
+		sh.mu.Lock()
+		for addr, rp := range sh.retired {
+			if now-rp.at >= retiredTTLFactor*idle {
+				delete(sh.retired, addr)
+			}
+		}
+		for addr, s := range sh.m {
+			if s.tabled.Load() != 0 {
+				continue
+			}
+			if now-time.Duration(s.lastActive.Load()) < idle {
+				continue
+			}
+			if sh.retired == nil {
+				sh.retired = make(map[string]retiredPeer)
+			}
+			sh.retired[addr] = retiredPeer{seq: s.seq.Load(), at: now}
+			s.gone.Store(true)
+			delete(sh.m, addr)
+			ss.evictions.Add(1)
+			ss.peersDirty.Store(true)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// reattach re-registers an evicted session a caller kept a handle to and
+// used again. If the address has meanwhile been re-claimed by a newer
+// session, the old handle stays detached (its traffic still flows, but
+// inbound replies route to the table's session for the address).
+func (ss *Sessions) reattach(s *Session) {
+	addr := s.peer.String()
+	sh := ss.peerShardOf(addr)
+	sh.mu.Lock()
+	if _, taken := sh.m[addr]; !taken {
+		delete(sh.retired, addr)
+		sh.m[addr] = s
+		s.gone.Store(false)
+		ss.peersDirty.Store(true)
+	}
+	sh.mu.Unlock()
 }
 
 // retrigger re-installs key at the peer with a fresh sequence number.

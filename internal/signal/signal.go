@@ -27,6 +27,7 @@ import (
 
 	"softstate/internal/clock"
 	"softstate/internal/singlehop"
+	"softstate/internal/variant"
 	"softstate/internal/wire"
 )
 
@@ -46,17 +47,48 @@ const (
 type Config struct {
 	// Protocol selects the mechanism bundle.
 	Protocol Protocol
+	// Variant, when non-nil, overrides the mechanism bundle derived from
+	// Protocol with an explicit variant.Profile — the one knob that
+	// switches the live stack between the paper's five protocols (or a
+	// custom mechanism mix). Nil derives variant.For(Protocol).
+	Variant *variant.Profile
 	// RefreshInterval is the soft-state refresh timer R.
 	RefreshInterval time.Duration
 	// Timeout is the receiver's state-timeout timer T. The paper's
 	// guidance (Fig 8a) is T ≈ 3R.
 	Timeout time.Duration
-	// Retransmit is the retransmission timer Γ for reliable messages.
+	// Retransmit is the retransmission timer Γ for reliable messages: the
+	// delay before the first retransmission.
 	Retransmit time.Duration
+	// RetransmitBackoff multiplies the retransmission delay after every
+	// unacked attempt (exponential backoff; default 2, values below 1 are
+	// clamped to 1 for the paper's constant-Γ behavior).
+	RetransmitBackoff float64
+	// RetransmitMax caps the backed-off retransmission delay (default
+	// 16×Retransmit).
+	RetransmitMax time.Duration
 	// MaxRetransmits bounds retransmission attempts per message; 0 means
 	// retry forever (the paper's model). Bounding is an extension for
 	// deployments that must detect dead peers.
 	MaxRetransmits int
+	// ProbeInterval is the hard-state receiver's orphan-probe period: how
+	// often it asks each key's sender for proof of life (default Timeout,
+	// so hard-state cleanup reacts on the same scale soft state would).
+	ProbeInterval time.Duration
+	// MaxProbeMisses is how many consecutive unanswered probes declare a
+	// key orphaned and remove it (default 3). Detection latency is
+	// therefore ≈ MaxProbeMisses×ProbeInterval after the sender dies.
+	MaxProbeMisses int
+	// PeerIdleTimeout, when positive, evicts sender sessions that have
+	// held no table entries (no live or removing keys) and seen no
+	// activity for this long, bounding the per-destination peer table
+	// under churn. Keep it well above Timeout so a silently departed
+	// peer's receiver-side state expires before its session is recycled.
+	// An evicted peer's sequence space is retired and resumed if the peer
+	// returns within a few further idle periods (after which the bookmark
+	// is pruned — safe, since the receiver-side state is long gone by
+	// then). 0 keeps sessions forever.
+	PeerIdleTimeout time.Duration
 	// MaxRefreshRate, when positive, bounds the sender's aggregate
 	// refresh traffic to this many refreshes per second by stretching the
 	// per-key refresh interval once the key count exceeds
@@ -121,6 +153,10 @@ func DefaultConfig(proto Protocol) Config {
 // withDefaults fills unset fields.
 func (c Config) withDefaults() Config {
 	d := DefaultConfig(c.Protocol)
+	if c.Variant == nil {
+		p := variant.For(c.Protocol)
+		c.Variant = &p
+	}
 	if c.RefreshInterval <= 0 {
 		c.RefreshInterval = d.RefreshInterval
 	}
@@ -129,6 +165,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Retransmit <= 0 {
 		c.Retransmit = d.Retransmit
+	}
+	if c.RetransmitBackoff == 0 {
+		c.RetransmitBackoff = 2
+	}
+	if c.RetransmitBackoff < 1 {
+		c.RetransmitBackoff = 1
+	}
+	if c.RetransmitMax <= 0 {
+		c.RetransmitMax = 16 * c.Retransmit
+	}
+	if c.RetransmitMax < c.Retransmit {
+		c.RetransmitMax = c.Retransmit
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = c.Timeout
+	}
+	if c.MaxProbeMisses <= 0 {
+		c.MaxProbeMisses = 3
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 256
@@ -168,6 +222,9 @@ const (
 	EventAcked
 	// EventGaveUp: retransmission limit reached.
 	EventGaveUp
+	// EventOrphaned: hard-state receiver removed state whose sender
+	// stopped answering liveness probes (presumed dead).
+	EventOrphaned
 )
 
 // String implements fmt.Stringer.
@@ -189,6 +246,8 @@ func (k EventKind) String() string {
 		return "acked"
 	case EventGaveUp:
 		return "gave-up"
+	case EventOrphaned:
+		return "orphaned"
 	default:
 		return "unknown"
 	}

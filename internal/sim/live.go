@@ -10,6 +10,7 @@ import (
 	livenode "softstate/internal/node"
 	"softstate/internal/rand"
 	"softstate/internal/signal"
+	"softstate/internal/variant"
 )
 
 // This file is the virtual-time harness for the *real* runtime: where the
@@ -134,6 +135,15 @@ type LiveResult struct {
 	KeyEvents int
 	// VirtualSeconds is the simulated duration.
 	VirtualSeconds float64
+}
+
+// Machinery counts the reliability/removal/probe datagrams the run sent —
+// the per-message machinery pure SS does without. Notifies are excluded:
+// the false-signal injector emits them for every protocol alike as part
+// of the simulated external environment.
+func (r LiveResult) Machinery() int {
+	return r.Sent["ack"] + r.Sent["ack-batch"] + r.Sent["removal"] +
+		r.Sent["removal-ack"] + r.Sent["probe"] + r.Sent["probe-ack"]
 }
 
 // liveStack abstracts the two topologies under one workload driver.
@@ -332,6 +342,49 @@ func ConsistencyVsLoss(base LiveConfig, losses []float64) ([]LiveResult, error) 
 			return nil, err
 		}
 		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunLiveVariants runs the same live experiment once per paper protocol —
+// SS, SS+ER, SS+RT, SS+RTR, HS — on the real wire stack and returns the
+// five results in the paper's presentation order. Every run shares base's
+// workload seed, so the five protocols face byte-identical churn and the
+// comparison (and its same-seed determinism) is apples to apples.
+func RunLiveVariants(base LiveConfig) ([]LiveResult, error) {
+	profiles := variant.All()
+	out := make([]LiveResult, 0, len(profiles))
+	for _, prof := range profiles {
+		cfg := base
+		cfg.Protocol = prof.Proto
+		r, err := RunLive(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s live run: %w", prof, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// VariantCurve is one protocol's consistency-versus-loss curve.
+type VariantCurve struct {
+	Protocol signal.Protocol
+	Results  []LiveResult
+}
+
+// ConsistencyVsLossVariants sweeps the loss axis for all five paper
+// protocols on the live stack — the paper's headline five-way comparison
+// as a deterministic virtual-time experiment on real datagrams.
+func ConsistencyVsLossVariants(base LiveConfig, losses []float64) ([]VariantCurve, error) {
+	out := make([]VariantCurve, 0, 5)
+	for _, prof := range variant.All() {
+		cfg := base
+		cfg.Protocol = prof.Proto
+		curve, err := ConsistencyVsLoss(cfg, losses)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s loss sweep: %w", prof, err)
+		}
+		out = append(out, VariantCurve{Protocol: prof.Proto, Results: curve})
 	}
 	return out, nil
 }

@@ -317,6 +317,26 @@ func (t *Table[V]) Range(fn func(key string, v *V) bool) {
 	}
 }
 
+// Armed reports how many kind timers are currently armed (scheduled and
+// not yet fired or cancelled) across all shards. It walks every entry one
+// shard lock at a time, so it is a diagnostic — tests use it to prove a
+// retransmission engine left no stale timers behind after convergence —
+// not a hot-path counter.
+func (t *Table[V]) Armed(kind TimerKind) int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.timers[kind].state != timerIdle {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Keys returns all keys in no particular order.
 func (t *Table[V]) Keys() []string {
 	out := make([]string, 0, t.Len())

@@ -28,6 +28,9 @@ func FuzzDecode(f *testing.F) {
 			{Kind: TypeRemovalAck, Seq: 2, Key: "flow/2"},
 		}},
 		{Type: TypeAckBatch, Seq: 10},
+		{Type: TypeProbe, Seq: 11, Key: "flow/1"},
+		{Type: TypeProbeAck, Seq: 12, Key: "flow/1"},
+		{Type: TypeProbe, Seq: 13, Key: ""},
 	}
 	for i := range seed {
 		data, err := seed[i].MarshalBinary()

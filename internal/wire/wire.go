@@ -86,6 +86,15 @@ const (
 	// TypeAckBatch coalesces many acknowledgements (acks and removal-acks)
 	// into one datagram — the reply-path counterpart of summary refresh.
 	TypeAckBatch
+	// TypeProbe asks a sender whether it still owns a key: the hard-state
+	// receiver's orphan-detection liveness probe (the paper's "external
+	// removal signal" made concrete). Seq echoes the receiver's latest
+	// accepted sequence for the key; there is no value.
+	TypeProbe
+	// TypeProbeAck answers a probe for a key the sender still owns. A
+	// sender that no longer owns the key stays silent, letting the
+	// receiver's miss counter declare the state orphaned.
+	TypeProbeAck
 	maxType
 )
 
@@ -114,6 +123,10 @@ func (t Type) String() string {
 		return "summary-nack"
 	case TypeAckBatch:
 		return "ack-batch"
+	case TypeProbe:
+		return "probe"
+	case TypeProbeAck:
+		return "probe-ack"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
