@@ -1,10 +1,13 @@
 // Command bench runs the repo's headline performance benchmarks — the
-// virtual-time live fan-out, the churned single-hop experiment, the raw
-// state-table renew path, and one live fan-out row per protocol variant
-// (SS → HS) — and writes the results as a JSON trajectory file
-// (BENCH_5.json and successors), so every future PR can show its perf
-// delta against a recorded baseline instead of a number in a commit
-// message.
+// virtual-time live fan-out (plain and telemetry-instrumented), the
+// churned single-hop experiment, the raw state-table renew path, and one
+// live fan-out row per protocol variant (SS → HS) — and writes the
+// results as a JSON trajectory file (BENCH_6.json and successors), so
+// every future PR can show its perf delta against a recorded baseline
+// instead of a number in a commit message. Since issue 6 the rows carry
+// the telemetry snapshot too: install→ack latency quantiles from the
+// registry histograms and the lifecycle-trace volume, so the trajectory
+// records latency distributions, not just throughput.
 //
 // Usage:
 //
@@ -25,6 +28,7 @@ import (
 	"softstate/internal/signal"
 	"softstate/internal/sim"
 	"softstate/internal/statetable"
+	"softstate/internal/telemetry"
 	"softstate/internal/variant"
 )
 
@@ -49,6 +53,13 @@ type entry struct {
 	// DatagramsPerKeySec is the steady-state wire cost of holding one key
 	// for one simulated second under this variant.
 	DatagramsPerKeySec float64 `json:"datagrams_per_key_per_virtual_s,omitempty"`
+	// InstallAckP50Ns/P99Ns are the install→ack latency quantiles from the
+	// run's telemetry histogram (ack-bearing variants only).
+	InstallAckP50Ns float64 `json:"install_ack_p50_ns,omitempty"`
+	InstallAckP99Ns float64 `json:"install_ack_p99_ns,omitempty"`
+	// TraceEvents is the lifecycle-trace volume (ring retained + dropped)
+	// on rows that ran with the tracer attached.
+	TraceEvents uint64 `json:"trace_events,omitempty"`
 }
 
 // trajectory is the whole output file.
@@ -63,17 +74,18 @@ type trajectory struct {
 
 func main() {
 	short := flag.Bool("short", false, "run scaled-down benchmarks (CI smoke mode)")
-	out := flag.String("out", "BENCH_5.json", "output file")
+	out := flag.String("out", "BENCH_6.json", "output file")
 	flag.Parse()
 
 	tr := trajectory{
-		Issue:     5,
+		Issue:     6,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Go:        runtime.Version(),
 		CPUs:      runtime.NumCPU(),
 		Short:     *short,
 	}
 	tr.Benchmarks = append(tr.Benchmarks, liveFanout(*short))
+	tr.Benchmarks = append(tr.Benchmarks, telemetryFanout(*short))
 	tr.Benchmarks = append(tr.Benchmarks, singleHop(*short))
 	tr.Benchmarks = append(tr.Benchmarks, statetableRenew(*short))
 	tr.Benchmarks = append(tr.Benchmarks, variantFanout(*short)...)
@@ -103,7 +115,25 @@ func (e entry) summary() string {
 	if e.Protocol != "" {
 		s += fmt.Sprintf(", %d held, %.2f dgrams/key/s", e.HeldKeys, e.DatagramsPerKeySec)
 	}
+	if e.InstallAckP99Ns > 0 {
+		s += fmt.Sprintf(", install-ack p50=%v p99=%v",
+			time.Duration(e.InstallAckP50Ns), time.Duration(e.InstallAckP99Ns))
+	}
+	if e.TraceEvents > 0 {
+		s += fmt.Sprintf(", %d trace events", e.TraceEvents)
+	}
 	return s
+}
+
+// installAckQuantiles pulls the install→ack latency distribution out of a
+// run's registry, merging the (single) node-side series.
+func installAckQuantiles(reg *telemetry.Registry) (p50, p99 float64) {
+	for _, s := range reg.Gather() {
+		if s.Name == "softstate_install_ack_seconds" && s.Hist != nil && s.Hist.Count > 0 {
+			return float64(s.Hist.Quantile(0.50)), float64(s.Hist.Quantile(0.99))
+		}
+	}
+	return 0, 0
 }
 
 // liveFanout is the headline benchmark: one node renews Peers×Keys keys
@@ -142,6 +172,50 @@ func liveFanout(short bool) entry {
 		KeysRefreshedPerSec: keys / secPerOp,
 		VirtualPerWallSec:   r.Seconds() / secPerOp,
 	}
+}
+
+// telemetryFanout is the headline benchmark re-run with the full
+// observability layer attached — registry instruments on the node side
+// and the lifecycle tracer recording — so the trajectory tracks what
+// turning telemetry on costs against the plain live-fanout row above.
+func telemetryFanout(short bool) entry {
+	cfg := sim.FanoutConfig{
+		Peers:           64,
+		Keys:            16384,
+		RefreshInterval: 100 * time.Millisecond,
+		Timeout:         time.Hour,
+		Metrics:         telemetry.NewRegistry(),
+		Trace:           telemetry.NewTracer(telemetry.TracerConfig{Capacity: 1 << 14}),
+	}
+	if short {
+		cfg.Peers, cfg.Keys = 8, 1024
+	}
+	h, err := sim.NewFanoutBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer h.Close()
+	r := cfg.RefreshInterval
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Run(r)
+		}
+	})
+	keys := float64(h.KeysPerInterval())
+	secPerOp := float64(res.NsPerOp()) / float64(time.Second)
+	e := entry{
+		Name:                "live-fanout-telemetry",
+		Config:              fmt.Sprintf("%d peers x %d keys, R=%s, metrics+trace on", cfg.Peers, cfg.Keys, r),
+		NsPerOp:             float64(res.NsPerOp()),
+		AllocsPerOp:         uint64(res.AllocsPerOp()),
+		BytesPerOp:          uint64(res.AllocedBytesPerOp()),
+		KeysRefreshedPerSec: keys / secPerOp,
+		VirtualPerWallSec:   r.Seconds() / secPerOp,
+		TraceEvents:         uint64(cfg.Trace.Len()) + cfg.Trace.Overwritten(),
+	}
+	e.InstallAckP50Ns, e.InstallAckP99Ns = installAckQuantiles(cfg.Metrics)
+	return e
 }
 
 // singleHop runs one virtual second of the churned single-hop consistency
@@ -230,6 +304,9 @@ func variantFanout(short bool) []entry {
 	for _, prof := range variant.All() {
 		cfg := base
 		cfg.Protocol = prof.Proto
+		// Each variant run carries its own registry so the row can be
+		// stamped with the install→ack distribution its acks produced.
+		cfg.Metrics = telemetry.NewRegistry()
 		start := time.Now()
 		res, err := sim.RunLiveFanout(cfg)
 		if err != nil {
@@ -249,6 +326,7 @@ func variantFanout(short bool) []entry {
 		if res.KeysRenewed > 0 {
 			e.KeysRefreshedPerSec = float64(res.KeysRenewed) / wall.Seconds()
 		}
+		e.InstallAckP50Ns, e.InstallAckP99Ns = installAckQuantiles(cfg.Metrics)
 		out = append(out, e)
 	}
 	return out

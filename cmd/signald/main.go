@@ -77,6 +77,10 @@ func main() {
 		summaryKeys = flag.Int("summary-keys", 64, "max keys per summary datagram")
 		coalesce    = flag.Bool("coalesce-acks", false,
 			"batch receiver replies into one ack-batch datagram per peer per flush tick")
+		metricsAddr = flag.String("metrics-addr", "",
+			"serve live metrics on this address: /metrics (Prometheus text, including the paper's "+
+				"inconsistency and datagrams/key/s gauges), /metrics.json, /debug/vars, /debug/pprof/; "+
+				"SIGUSR1 dumps a snapshot to stderr")
 	)
 	flag.Parse()
 
@@ -100,6 +104,16 @@ func main() {
 		SummaryMaxKeys:  *summaryKeys,
 		CoalesceAcks:    *coalesce,
 		PeerIdleTimeout: *peerIdle,
+	}
+	if *metricsAddr != "" {
+		t, terr := startTelemetry(*metricsAddr)
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "signald:", terr)
+			os.Exit(1)
+		}
+		tele = t
+		cfg.Metrics = t.registry()
+		defer t.close()
 	}
 
 	switch *mode {
@@ -134,6 +148,10 @@ func main() {
 	}
 }
 
+// tele is the process's live-introspection state; nil (all methods
+// no-ops) unless -metrics-addr was given.
+var tele *telem
+
 // splitPeers parses the -peers list.
 func splitPeers(list string) []string {
 	var out []string
@@ -150,11 +168,13 @@ func serve(addr string, cfg sig.Config) error {
 	if err != nil {
 		return err
 	}
+	cfg.OnEvent = tele.paper(*cfg.Variant, "receiver", false)
 	rcv, err := sig.NewReceiver(conn, cfg)
 	if err != nil {
 		return err
 	}
 	defer rcv.Close()
+	tele.setSent(func() int64 { return rcv.SentDatagrams() + rcv.ReceivedDatagrams() })
 	fmt.Printf("signald: %v receiver on %v (T=%v); Ctrl-C to stop\n",
 		cfg.Protocol, conn.LocalAddr(), cfg.Timeout)
 
@@ -184,11 +204,13 @@ func send(peerAddr string, cfg sig.Config, key string, value []byte, hold time.D
 	if err != nil {
 		return err
 	}
+	cfg.OnEvent = tele.paper(*cfg.Variant, "sender", cfg.Variant.ReliableTrigger)
 	snd, err := sig.NewSender(conn, raddr, cfg)
 	if err != nil {
 		return err
 	}
 	defer snd.Close()
+	tele.setSent(func() int64 { return snd.SentDatagrams() + snd.ReceivedDatagrams() })
 	go logEvents("sender", snd.Events())
 
 	fmt.Printf("signald: installing %q at %v via %v, holding %v\n", key, raddr, cfg.Protocol, hold)
@@ -232,6 +254,7 @@ func relay(addr, nextHop string, cfg sig.Config) error {
 		up.Close()
 		return err
 	}
+	cfg.OnEvent = tele.paper(*cfg.Variant, "relay", false)
 	rly, err := node.NewRelay(up, down, next, cfg)
 	if err != nil {
 		up.Close()
@@ -239,6 +262,12 @@ func relay(addr, nextHop string, cfg sig.Config) error {
 		return err
 	}
 	defer rly.Close()
+	tele.setSent(func() int64 {
+		rc := rly.Receiver()
+		dn := rly.Downstream()
+		return rc.SentDatagrams() + rc.ReceivedDatagrams() +
+			dn.SentDatagrams() + dn.ReceivedDatagrams()
+	})
 	fmt.Printf("signald: %v relay on %v → %v (T=%v); Ctrl-C to stop\n",
 		cfg.Protocol, up.LocalAddr(), next, cfg.Timeout)
 
@@ -274,12 +303,14 @@ func fanout(peerList []string, cfg sig.Config, key string, value []byte, count i
 	if err != nil {
 		return err
 	}
+	cfg.OnEvent = tele.paper(*cfg.Variant, "node", cfg.Variant.ReliableTrigger)
 	n, err := node.New(conn, cfg)
 	if err != nil {
 		conn.Close()
 		return err
 	}
 	defer n.Close()
+	tele.setSent(func() int64 { return n.SentDatagrams() + n.ReceivedDatagrams() })
 	go logEvents("node", n.Events())
 
 	fmt.Printf("signald: installing %d keys at each of %d peers via %v, holding %v\n",
@@ -330,7 +361,9 @@ func demo(cfg sig.Config, loss float64) error {
 	if err != nil {
 		return err
 	}
-	snd, err := sig.NewSender(a, b.LocalAddr(), cfg)
+	scfg := cfg
+	scfg.OnEvent = tele.paper(*cfg.Variant, "sender", cfg.Variant.ReliableTrigger)
+	snd, err := sig.NewSender(a, b.LocalAddr(), scfg)
 	if err != nil {
 		return err
 	}
@@ -340,6 +373,7 @@ func demo(cfg sig.Config, loss float64) error {
 	}
 	defer rcv.Close()
 	defer snd.Close()
+	tele.setSent(func() int64 { return snd.SentDatagrams() + snd.ReceivedDatagrams() })
 	go logEvents("sender  ", snd.Events())
 	go logEvents("receiver", rcv.Events())
 

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+
+	sig "softstate/internal/signal"
+	"softstate/internal/telemetry"
+	"softstate/internal/variant"
+)
+
+// telem is signald's live-introspection state: the shared metrics
+// registry, the HTTP listener serving it (Prometheus text, expvar JSON,
+// pprof), the paper-metric collector, and the SIGUSR1 snapshot dumper.
+// A nil *telem (metrics disabled) makes every method a no-op, so mode
+// functions call it unconditionally.
+type telem struct {
+	reg  *telemetry.Registry
+	ln   net.Listener
+	srv  *http.Server
+	sent atomic.Pointer[func() int64] // endpoint datagram-total supplier
+	pm   *telemetry.PaperMetrics
+}
+
+// startTelemetry opens the metrics listener and the SIGUSR1 dump handler.
+func startTelemetry(addr string) (*telem, error) {
+	reg := telemetry.NewRegistry()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	t := &telem{reg: reg, ln: ln}
+	t.srv = &http.Server{Handler: telemetry.NewMux(reg)}
+	go t.srv.Serve(ln)
+
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	go func() {
+		for range usr1 {
+			fmt.Fprintln(os.Stderr, "signald: SIGUSR1 metrics snapshot")
+			t.dump(os.Stderr)
+		}
+	}()
+	fmt.Printf("signald: metrics on http://%v/metrics (JSON at /metrics.json, profiles at /debug/pprof/)\n",
+		ln.Addr())
+	return t, nil
+}
+
+// registry returns the shared registry (nil when telemetry is off), the
+// value mode functions put in sig.Config.Metrics.
+func (t *telem) registry() *telemetry.Registry {
+	if t == nil {
+		return nil
+	}
+	return t.reg
+}
+
+// paper creates and registers the paper-metric collector and returns the
+// event hook feeding it (nil when telemetry is off). ackExpected should
+// be true for sender-side endpoints of reliable-trigger variants, where
+// a key is provably inconsistent from each trigger until its ack.
+func (t *telem) paper(prof variant.Profile, role string, ackExpected bool) func(sig.Event) {
+	if t == nil {
+		return nil
+	}
+	t.pm = telemetry.NewPaperMetrics(telemetry.PaperConfig{
+		AckExpected: ackExpected,
+		Sent: func() int64 {
+			if f := t.sent.Load(); f != nil {
+				return (*f)()
+			}
+			return 0
+		},
+	})
+	t.pm.Register(t.reg, telemetry.Labels{"protocol": prof.Name, "role": role})
+	return paperHook(t.pm)
+}
+
+// setSent installs the endpoint's cumulative datagram supplier once the
+// endpoint exists (the collector is registered before it, so the supplier
+// arrives late through an atomic pointer).
+func (t *telem) setSent(fn func() int64) {
+	if t != nil && fn != nil {
+		t.sent.Store(&fn)
+	}
+}
+
+// dump writes a Prometheus-text snapshot — the SIGUSR1 and shutdown view.
+func (t *telem) dump(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.reg.WritePrometheus(w)
+}
+
+// close stops the listener and prints the final snapshot to stderr.
+func (t *telem) close() {
+	if t == nil {
+		return
+	}
+	t.srv.Close()
+	fmt.Fprintln(os.Stderr, "signald: final metrics snapshot")
+	t.dump(os.Stderr)
+}
+
+// paperHook adapts the signal event stream to the paper-metric
+// collector's key-lifecycle view. Keys are qualified by peer address so a
+// fan-out node's identical keys at different receivers do not alias.
+func paperHook(pm *telemetry.PaperMetrics) func(sig.Event) {
+	return func(ev sig.Event) {
+		key := ev.Key
+		if ev.Peer != nil {
+			key = ev.Peer.String() + "\x00" + key
+		}
+		switch ev.Kind {
+		case sig.EventInstalled, sig.EventUpdated, sig.EventRepaired:
+			pm.OnInstall(key)
+		case sig.EventAcked:
+			pm.OnAck(key)
+		case sig.EventRemoved, sig.EventGaveUp:
+			pm.OnRemove(key)
+		case sig.EventExpired, sig.EventOrphaned, sig.EventFalseRemoval:
+			pm.OnLost(key)
+		}
+	}
+}

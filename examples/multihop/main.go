@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"strings"
 	"time"
 
@@ -19,11 +20,14 @@ import (
 	"softstate/internal/lossy"
 	"softstate/internal/node"
 	"softstate/internal/signal"
+	"softstate/internal/telemetry"
 )
 
 func main() {
 	virtual := flag.Bool("virtual", false,
 		"run the 5-hop chain in deterministic virtual time (same -seed → byte-identical output)")
+	trace := flag.Bool("trace", false,
+		"with -virtual, attach the lifecycle tracer to every chain endpoint and print a deterministic trace digest")
 	seed := flag.Uint64("seed", 5, "link impairment seed for the chain run")
 	flag.Parse()
 
@@ -89,7 +93,7 @@ func main() {
 	}
 
 	if *virtual {
-		virtualChain(*seed)
+		virtualChain(*seed, *trace)
 	} else {
 		liveChain(*seed)
 	}
@@ -114,16 +118,22 @@ func chainConfig(proto softstate.Protocol, seed uint64) (signal.Config, lossy.Co
 // impairments — but driven by a virtual clock. Nothing sleeps, latencies
 // are exact virtual times rather than wall measurements, and a fixed seed
 // reproduces the run byte for byte.
-func virtualChain(seed uint64) {
+func virtualChain(seed uint64, trace bool) {
 	fmt.Println("\nVirtual run: the same reservation on a real 5-hop relay chain in")
 	fmt.Printf("deterministic virtual time (seed %d; same seed → identical output):\n", seed)
 	fmt.Printf("%8s %18s %14s %16s %10s\n",
 		"proto", "install latency", "holds @ 3R", "removal clears", "datagrams")
+	digests := make([]string, 0, 3)
 	for _, proto := range softstate.MultihopProtocols() {
 		v := clock.NewVirtual()
 		cfg, link := chainConfig(proto, seed)
 		cfg.Clock = v
 		link.Clock = v
+		var tr *telemetry.Tracer
+		if trace {
+			tr = telemetry.NewTracer(telemetry.TracerConfig{Capacity: 1 << 14, Clock: v})
+			cfg.Trace = tr // every endpoint on the chain records into one ring
+		}
 		c, err := node.NewChain(6, cfg, link)
 		if err != nil {
 			log.Fatal(err)
@@ -162,9 +172,45 @@ func virtualChain(seed uint64) {
 		fmt.Printf("%8v %18s %10d/5 %16s %10d\n",
 			proto, install, holds, cleared, sent)
 		c.Close()
+		if tr != nil {
+			digests = append(digests, traceDigest(proto, tr))
+		}
+	}
+	if trace {
+		fmt.Println("\nLifecycle trace digest (chain-wide event multiset — itself a pure")
+		fmt.Println("function of the seed, so these lines replay byte for byte):")
+		for _, d := range digests {
+			fmt.Println(d)
+		}
 	}
 	fmt.Println("\nEvery number above is a pure function of the seed: the chain ran the")
 	fmt.Println("production endpoints with all timers and link delays in virtual time.")
+}
+
+// traceDigest summarizes one protocol run's chain-wide trace: total
+// volume, the virtual-time span, and per-kind counts. Endpoints record
+// concurrently, so the digest reports the (deterministic) event multiset
+// rather than an interleaving order.
+func traceDigest(proto softstate.Protocol, tr *telemetry.Tracer) string {
+	events := tr.Events()
+	var last time.Duration
+	for _, ev := range events {
+		if ev.At > last {
+			last = ev.At
+		}
+	}
+	counts := tr.KindCounts()
+	kinds := make([]telemetry.TraceKind, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%v %d", k, counts[k]))
+	}
+	return fmt.Sprintf("  %-6v %4d events over %8v: %s",
+		proto, len(events)+int(tr.Overwritten()), last.Round(time.Millisecond), strings.Join(parts, ", "))
 }
 
 // liveChain runs the protocols on a real 5-hop relay chain: an origin

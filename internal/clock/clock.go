@@ -112,6 +112,7 @@ type Virtual struct {
 	busy    atomic.Int64
 	waiting atomic.Bool   // the driver is parked in quiesce
 	idle    chan struct{} // buffered wakeup token for the parked driver
+	parks   atomic.Int64  // times the driver actually parked (slow path)
 }
 
 // NewVirtual returns a virtual clock at the epoch.
@@ -208,6 +209,13 @@ func (v *Virtual) Exit() {
 // system is quiescent; tests use it to prove Enter/Exit stay balanced.
 func (v *Virtual) Busy() int { return int(v.busy.Load()) }
 
+// Parks returns how many times the driver took the quiesce slow path —
+// actually parking to wait for induced work instead of finding the gate
+// already drained. A high park rate relative to events fired means the
+// gate, not event processing, bounds simulation throughput; telemetry
+// exposes it as the gate-park counter.
+func (v *Virtual) Parks() int64 { return v.parks.Load() }
+
 // quiesce blocks until the gate drains. Fast path: one atomic load. Slow
 // path: publish the waiting flag and park on the wakeup token, rechecking
 // busy after each wakeup (spurious tokens are harmless).
@@ -215,6 +223,7 @@ func (v *Virtual) quiesce() {
 	if v.busy.Load() == 0 {
 		return
 	}
+	v.parks.Add(1)
 	v.waiting.Store(true)
 	for v.busy.Load() != 0 {
 		<-v.idle

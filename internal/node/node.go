@@ -24,9 +24,9 @@ import (
 	"errors"
 	"net"
 	"sync"
-	"sync/atomic"
 
 	"softstate/internal/signal"
+	"softstate/internal/telemetry"
 )
 
 // Node is a multi-peer signaling sender: one net.PacketConn, many
@@ -34,7 +34,7 @@ import (
 type Node struct {
 	ss      *signal.Sessions
 	wg      sync.WaitGroup
-	unknown atomic.Int64 // datagrams from addresses with no session
+	unknown telemetry.Counter // datagrams from addresses with no session
 }
 
 // New creates a node speaking cfg.Protocol over conn and starts its
@@ -45,6 +45,17 @@ func New(conn net.PacketConn, cfg signal.Config) (*Node, error) {
 		return nil, errors.New("node: nil conn")
 	}
 	n := &Node{ss: signal.NewSessions(conn, cfg)}
+	if cfg.Metrics != nil {
+		labels := telemetry.Labels{"role": "node"}
+		for k, v := range cfg.MetricsLabels {
+			labels[k] = v
+		}
+		cfg.Metrics.RegisterCounter(telemetry.Opts{
+			Name:   "softstate_unknown_datagrams_total",
+			Help:   "Inbound datagrams from addresses with no session (strays, late replies from dropped peers).",
+			Labels: labels,
+		}, &n.unknown)
+	}
 	n.wg.Add(1)
 	go n.readLoop()
 	return n, nil
@@ -81,9 +92,15 @@ func (n *Node) Events() <-chan signal.Event { return n.ss.Events() }
 // Stats returns a snapshot of message counters across all sessions.
 func (n *Node) Stats() signal.Stats { return n.ss.Stats() }
 
+// SentDatagrams returns the cumulative signaling datagrams written.
+func (n *Node) SentDatagrams() int64 { return n.ss.SentDatagrams() }
+
+// ReceivedDatagrams returns the cumulative signaling datagrams accepted.
+func (n *Node) ReceivedDatagrams() int64 { return n.ss.ReceivedDatagrams() }
+
 // Unknown reports how many inbound datagrams carried a source address
 // with no session (late replies from dropped peers, or strays).
-func (n *Node) Unknown() int { return int(n.unknown.Load()) }
+func (n *Node) Unknown() int { return int(n.unknown.Value()) }
 
 // Evictions reports how many idle peer sessions have been dropped from
 // the per-destination table (Config.PeerIdleTimeout); evicted peers are

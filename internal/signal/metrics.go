@@ -1,0 +1,97 @@
+package signal
+
+import (
+	"strconv"
+
+	"softstate/internal/statetable"
+	"softstate/internal/telemetry"
+)
+
+// This file is the sender/receiver instrument inventory: everything an
+// endpoint registers when Config.Metrics is set. Counters are the same
+// value-embedded atomics the endpoint always maintained (registration
+// only names them); gauges are scrape-time functions over state the
+// endpoint already tracks; histograms are the only additions, and their
+// Observe calls are two atomic increments guarded by the endpoint's
+// measure flag.
+
+// registerTableGauges exposes a state table's occupancy and per-shard
+// wheel depth.
+func registerTableGauges[V any](r *telemetry.Registry, labels telemetry.Labels, tbl *statetable.Table[V]) {
+	r.GaugeFunc(telemetry.Opts{
+		Name:   "softstate_table_keys",
+		Help:   "Entries in the endpoint's sharded state table.",
+		Labels: labels,
+	}, func() float64 { return float64(tbl.Len()) })
+	registerWheelDepths(r, labels, tbl.NumShards(), tbl.WheelDepth)
+}
+
+// registerWheelDepths registers one wheel-depth gauge per shard.
+func registerWheelDepths(r *telemetry.Registry, labels telemetry.Labels, shards int, depth func(int) int) {
+	for i := 0; i < shards; i++ {
+		shard := i
+		sl := make(telemetry.Labels, len(labels)+1)
+		for k, v := range labels {
+			sl[k] = v
+		}
+		sl["shard"] = strconv.Itoa(shard)
+		r.GaugeFunc(telemetry.Opts{
+			Name:   "softstate_wheel_depth",
+			Help:   "Armed timers on one shard's hierarchical timing wheel.",
+			Labels: sl,
+		}, func() float64 { return float64(depth(shard)) })
+	}
+}
+
+// registerSender wires the sender-side instruments onto cfg.Metrics and
+// hands back the latency histograms the session paths feed.
+func (ss *Sessions) registerMetrics() {
+	reg := ss.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	labels := metricsLabelsFor(ss.cfg, "sender")
+	ss.ctrs.register(reg, labels)
+	ss.histInstallAck = reg.NewHistogram(telemetry.Opts{
+		Name:   "softstate_install_ack_seconds",
+		Help:   "Latency from a trigger transmission to the ack completing it.",
+		Labels: labels,
+	})
+	ss.histRemoval = reg.NewHistogram(telemetry.Opts{
+		Name:   "softstate_removal_latency_seconds",
+		Help:   "Latency from a reliable removal transmission to its removal-ack.",
+		Labels: labels,
+	})
+	reg.GaugeFunc(telemetry.Opts{
+		Name:   "softstate_live_keys",
+		Help:   "Live (non-removing) keys across all peer sessions.",
+		Labels: labels,
+	}, func() float64 { return float64(ss.live.Load()) })
+	reg.GaugeFunc(telemetry.Opts{
+		Name:   "softstate_peer_sessions",
+		Help:   "Peer sessions currently in the sender's peer table.",
+		Labels: labels,
+	}, func() float64 { return float64(ss.NumPeers()) })
+	reg.RegisterCounter(telemetry.Opts{
+		Name:   "softstate_peer_evictions_total",
+		Help:   "Idle peer sessions evicted from the peer table.",
+		Labels: labels,
+	}, &ss.evictions)
+	registerTableGauges(reg, labels, ss.tbl)
+}
+
+// registerMetrics wires the receiver-side instruments onto cfg.Metrics.
+func (r *Receiver) registerMetrics() {
+	reg := r.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	labels := metricsLabelsFor(r.cfg, "receiver")
+	r.ctrs.register(reg, labels)
+	r.histJitter = reg.NewHistogram(telemetry.Opts{
+		Name:   "softstate_refresh_jitter_seconds",
+		Help:   "Observed interval between successive renewals of one key (refresh jitter; nominally RefreshInterval).",
+		Labels: labels,
+	})
+	registerTableGauges(reg, labels, r.tbl)
+}

@@ -11,6 +11,7 @@ import (
 	"softstate/internal/bufpool"
 	"softstate/internal/clock"
 	"softstate/internal/statetable"
+	"softstate/internal/telemetry"
 	"softstate/internal/variant"
 	"softstate/internal/wire"
 )
@@ -28,12 +29,20 @@ type Receiver struct {
 	cfg  Config
 	prof variant.Profile
 	clk  clock.Clock
-	det  bool // virtual clock: order traffic deterministically
+	det  bool      // virtual clock: order traffic deterministically
+	born time.Time // clock origin for renewal stamps
 
 	tbl    *statetable.Table[receiverEntry]
 	idx    keyIndex // secondary key→entries index for any-sender lookups
 	ctrs   counters
 	closed atomic.Bool
+
+	// Telemetry: trace is the lifecycle tracer (nil-safe), histJitter
+	// exists only when Config.Metrics was set, and measure gates the
+	// clock reads stamping renewal times.
+	trace      *telemetry.Tracer
+	histJitter *telemetry.Histogram
+	measure    bool
 
 	events     eventSink
 	acks       *ackBatcher // nil unless cfg.CoalesceAcks
@@ -52,6 +61,11 @@ type receiverEntry struct {
 	// probeMisses counts consecutive unanswered liveness probes (hard
 	// state only); MaxProbeMisses of them orphan the entry.
 	probeMisses int
+	// renewedAt stamps the last accepted renewal (trigger, refresh, or
+	// summary), feeding the refresh-jitter histogram; biased by +1 ns so
+	// a renewal at virtual time zero still reads as stamped. Written only
+	// when the receiver has metrics enabled; 0 means unstamped.
+	renewedAt time.Duration
 }
 
 // rkey builds the (peer, key) table key. Address strings contain no NUL
@@ -72,15 +86,19 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 		prof:   *cfg.Variant,
 		clk:    clk,
 		det:    clk.Virtual(),
+		born:   clk.Now(),
 		events: eventSink{ch: make(chan Event, cfg.EventBuffer), fn: cfg.OnEvent},
 		done:   make(chan struct{}),
+		trace:  cfg.Trace,
 	}
+	r.measure = cfg.Metrics != nil
 	r.idx.m = make(map[string]map[string]struct{})
 	r.tbl = statetable.New(statetable.Config[receiverEntry]{
 		Shards:   cfg.Shards,
 		Clock:    cfg.Clock,
 		OnExpire: r.onTimeout,
 	})
+	r.registerMetrics()
 	if cfg.CoalesceAcks {
 		r.acks = newAckBatcher()
 		if r.det {
@@ -102,6 +120,13 @@ func (r *Receiver) Events() <-chan Event { return r.events.ch }
 
 // Stats returns a snapshot of message counters.
 func (r *Receiver) Stats() Stats { return r.ctrs.snapshot() }
+
+// SentDatagrams returns the cumulative signaling datagrams written
+// (replies: acks, nacks, notifies, probes) across wire types.
+func (r *Receiver) SentDatagrams() int64 { return r.ctrs.totalSent() }
+
+// ReceivedDatagrams returns the cumulative signaling datagrams accepted.
+func (r *Receiver) ReceivedDatagrams() int64 { return r.ctrs.totalReceived() }
 
 // Get returns an installed value for key from any sender, resolved
 // through the secondary key index — O(senders holding key), not a table
@@ -224,9 +249,10 @@ func (r *Receiver) readLoop() {
 // for NACKs, and the two hoisted closures — built once per read loop so
 // the per-key path allocates nothing.
 type summaryScratch struct {
-	ck      []byte // addr + NUL + key, rebuilt per key
-	prefix  int    // length of the addr + NUL prefix in ck
-	seq     uint64 // current datagram's sequence number
+	ck      []byte        // addr + NUL + key, rebuilt per key
+	prefix  int           // length of the addr + NUL prefix in ck
+	seq     uint64        // current datagram's sequence number
+	now     time.Duration // clock offset, read once per datagram (metrics)
 	unknown []string
 	visit   func(seq uint64, key []byte)
 	renew   func(e *receiverEntry, tc statetable.TimerControl[receiverEntry])
@@ -240,6 +266,12 @@ func (r *Receiver) newSummaryScratch() *summaryScratch {
 		// since superseded.
 		if sc.seq < e.lastSeq {
 			return
+		}
+		if r.measure {
+			if e.renewedAt > 0 {
+				r.histJitter.Observe(sc.now - e.renewedAt)
+			}
+			e.renewedAt = sc.now
 		}
 		r.armTimeout(tc)
 	}
@@ -267,6 +299,9 @@ func (r *Receiver) handleSummaryFast(data []byte, from net.Addr, sc *summaryScra
 	sc.ck = append(sc.ck, 0)
 	sc.prefix = len(sc.ck)
 	sc.unknown = sc.unknown[:0]
+	if r.measure {
+		sc.now = r.clk.Since(r.born) + 1
+	}
 	seq, err := wire.VisitSummaryKeys(data, sc.visit)
 	if err != nil {
 		r.ctrs.decodeErrors.Add(1)
@@ -292,11 +327,16 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 	switch m.Type {
 	case wire.TypeTrigger, wire.TypeRefresh:
 		ck := rkey(from.String(), m.Key)
+		var now time.Duration
+		if r.measure {
+			now = r.clk.Since(r.born) + 1
+		}
 		r.tbl.Upsert(ck, func(e *receiverEntry, created bool, tc statetable.TimerControl[receiverEntry]) {
 			if created {
 				e.key = m.Key
 				e.peer = from
 				r.idx.add(m.Key, ck)
+				r.trace.Record(telemetry.TraceInstall, m.Key, m.Seq, from)
 				r.emit(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
 			} else if m.Seq >= e.lastSeq && !bytesEqual(e.value, m.Value) {
 				r.emit(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
@@ -307,6 +347,12 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 			if m.Seq >= e.lastSeq || created {
 				e.lastSeq = m.Seq
 				e.value = m.Value
+			}
+			if r.measure {
+				if !created && e.renewedAt > 0 {
+					r.histJitter.Observe(now - e.renewedAt)
+				}
+				e.renewedAt = now
 			}
 			e.probeMisses = 0 // any traffic for the key proves liveness
 			r.armTimeout(tc)
@@ -398,6 +444,16 @@ func (r *Receiver) drop(e *receiverEntry, tc statetable.TimerControl[receiverEnt
 	key, value, peer := e.key, e.value, e.peer
 	r.idx.remove(key, tc.Key())
 	tc.Delete()
+	if r.trace != nil {
+		tk := telemetry.TraceRemoval
+		switch kind {
+		case EventExpired:
+			tk = telemetry.TraceExpiry
+		case EventOrphaned:
+			tk = telemetry.TraceOrphan
+		}
+		r.trace.Record(tk, key, e.lastSeq, peer)
+	}
 	r.emit(Event{Kind: kind, Key: key, Value: value, Peer: peer})
 }
 

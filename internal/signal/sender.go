@@ -55,6 +55,12 @@ func (s *Sender) Events() <-chan Event { return s.ss.Events() }
 // Stats returns a snapshot of message counters.
 func (s *Sender) Stats() Stats { return s.ss.Stats() }
 
+// SentDatagrams returns the cumulative signaling datagrams written.
+func (s *Sender) SentDatagrams() int64 { return s.ss.SentDatagrams() }
+
+// ReceivedDatagrams returns the cumulative signaling datagrams accepted.
+func (s *Sender) ReceivedDatagrams() int64 { return s.ss.ReceivedDatagrams() }
+
 // Install installs (or reinstalls) state for key at the receiver.
 func (s *Sender) Install(key string, value []byte) error {
 	return s.sess.Install(key, value)

@@ -12,6 +12,7 @@ import (
 	"softstate/internal/bufpool"
 	"softstate/internal/clock"
 	"softstate/internal/statetable"
+	"softstate/internal/telemetry"
 	"softstate/internal/variant"
 	"softstate/internal/wire"
 )
@@ -40,6 +41,14 @@ type Sessions struct {
 	ctrs   counters
 	closed atomic.Bool
 
+	// Telemetry: trace is the per-key lifecycle tracer (nil-safe), the
+	// histograms exist only when Config.Metrics was set, and measure
+	// gates the clock reads that stamp latency start points.
+	trace          *telemetry.Tracer
+	histInstallAck *telemetry.Histogram
+	histRemoval    *telemetry.Histogram
+	measure        bool
+
 	events eventSink
 	done   chan struct{}
 	wg     sync.WaitGroup // summary sweeper + idle reaper (wall mode)
@@ -47,8 +56,8 @@ type Sessions struct {
 	sweepTimer clock.Timer // summary sweeper (virtual mode)
 	sweepMu    sync.Mutex  // serializes sweeps and guards session sweep caches
 
-	reapTimer clock.Timer  // idle-peer reaper (virtual mode)
-	evictions atomic.Int64 // idle sessions evicted from the peer table
+	reapTimer clock.Timer       // idle-peer reaper (virtual mode)
+	evictions telemetry.Counter // idle sessions evicted from the peer table
 
 	// sweepSessions caches the id-sorted session list (under sweepMu),
 	// rebuilt only when peersDirty reports the peer table changed — a
@@ -133,6 +142,12 @@ type senderEntry struct {
 
 	removing   bool // removal sent, awaiting removal-ack
 	removalSeq uint64
+
+	// sentAt stamps the transmission whose round trip telemetry measures
+	// (latest trigger, or the removal once removing), biased by +1 ns so
+	// a send at virtual time zero still reads as stamped. Written only
+	// when the owning Sessions has metrics enabled; 0 means unstamped.
+	sentAt time.Duration
 }
 
 // sessionKey prefixes key with the owning session's 4-byte id, giving
@@ -163,7 +178,9 @@ func NewSessions(conn net.PacketConn, cfg Config) *Sessions {
 		born:   clk.Now(),
 		events: eventSink{ch: make(chan Event, cfg.EventBuffer), fn: cfg.OnEvent},
 		done:   make(chan struct{}),
+		trace:  cfg.Trace,
 	}
+	ss.measure = cfg.Metrics != nil
 	ss.tbl = statetable.New(statetable.Config[senderEntry]{
 		Shards:   cfg.Shards,
 		Clock:    cfg.Clock,
@@ -172,6 +189,7 @@ func NewSessions(conn net.PacketConn, cfg Config) *Sessions {
 	for i := range ss.peers {
 		ss.peers[i].m = make(map[string]*Session)
 	}
+	ss.registerMetrics()
 	if ss.summaryMode() {
 		if ss.det {
 			// Virtual mode: the sweep is a clock callback on the simulation
@@ -248,6 +266,26 @@ func (ss *Sessions) Lookup(from net.Addr) (*Session, bool) {
 	sh.mu.RUnlock()
 	return s, ok
 }
+
+// NumPeers returns the number of sessions in the peer table — an O(shard
+// count) sum of map sizes, cheap enough for scrape-time gauges.
+func (ss *Sessions) NumPeers() int {
+	n := 0
+	for i := range ss.peers {
+		sh := &ss.peers[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// SentDatagrams returns the cumulative signaling datagrams written across
+// all sessions and wire types.
+func (ss *Sessions) SentDatagrams() int64 { return ss.ctrs.totalSent() }
+
+// ReceivedDatagrams returns the cumulative signaling datagrams accepted.
+func (ss *Sessions) ReceivedDatagrams() int64 { return ss.ctrs.totalReceived() }
 
 // Peers returns all sessions in no particular order.
 func (ss *Sessions) Peers() []*Session {
@@ -399,7 +437,11 @@ func (s *Session) put(key string, value []byte, kind EventKind) error {
 		e.removing = false
 		e.retries = 0
 		e.seq = s.seq.Add(1)
+		if ss.measure {
+			e.sentAt = ss.clk.Since(ss.born) + 1
+		}
 		ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, s.peer)
+		ss.trace.Record(telemetry.TraceTrigger, key, e.seq, s.peer)
 		ss.armTriggerRetx(tc)
 		ss.armRefresh(tc)
 		ss.emit(Event{Kind: kind, Key: key, Value: e.value, Seq: e.seq, Peer: s.peer})
@@ -437,6 +479,7 @@ func (s *Session) Remove(key string) error {
 		tc.Cancel(timerRetx)
 		if !ss.prof.ExplicitRemoval {
 			ss.deleteEntry(s, tc)
+			ss.trace.Record(telemetry.TraceRemoval, key, 0, s.peer)
 			ss.emit(Event{Kind: EventRemoved, Key: key, Peer: s.peer})
 			return
 		}
@@ -444,11 +487,15 @@ func (s *Session) Remove(key string) error {
 		e.removalSeq = s.seq.Add(1)
 		e.retries = 0
 		e.value = nil
+		if ss.measure {
+			e.sentAt = ss.clk.Since(ss.born) + 1
+		}
 		ss.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key}, s.peer)
 		if ss.prof.ReliableRemoval {
 			tc.Schedule(timerRetx, ss.cfg.Retransmit)
 		} else {
 			ss.deleteEntry(s, tc)
+			ss.trace.Record(telemetry.TraceRemoval, key, e.removalSeq, s.peer)
 			ss.emit(Event{Kind: EventRemoved, Key: key, Peer: s.peer})
 		}
 	})
@@ -545,6 +592,7 @@ func (ss *Sessions) onExpire(ck string, kind statetable.TimerKind, e *senderEntr
 			return
 		}
 		ss.send(wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: key, Value: e.value}, e.sess.peer)
+		ss.trace.Record(telemetry.TraceRefresh, key, e.seq, e.sess.peer)
 		ss.armRefresh(tc)
 	case timerRetx:
 		if e.removing {
@@ -565,6 +613,7 @@ func (ss *Sessions) triggerRetx(key string, e *senderEntry, tc statetable.TimerC
 	}
 	e.retries++
 	ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, e.sess.peer)
+	ss.trace.Record(telemetry.TraceRetransmit, key, e.seq, e.sess.peer)
 	tc.Schedule(timerRetx, ss.retxDelay(e.retries))
 }
 
@@ -578,6 +627,7 @@ func (ss *Sessions) removalRetx(key string, e *senderEntry, tc statetable.TimerC
 	}
 	e.retries++
 	ss.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key}, e.sess.peer)
+	ss.trace.Record(telemetry.TraceRetransmit, key, e.removalSeq, e.sess.peer)
 	tc.Schedule(timerRetx, ss.retxDelay(e.retries))
 }
 
@@ -686,6 +736,7 @@ func (ss *Sessions) summarySweep() int {
 				break // unreachable: every installed key fits a datagram
 			}
 			ss.send(wire.Message{Type: wire.TypeSummaryRefresh, Seq: sess.seq.Load(), Keys: keys[:n]}, sess.peer)
+			ss.trace.Record(telemetry.TraceSummary, "", uint64(n), sess.peer)
 			keys = keys[n:]
 			sent++
 		}
@@ -763,6 +814,11 @@ func (s *Session) handleAck(seq uint64, key string) {
 		if e.ackedSeq >= e.seq {
 			tc.Cancel(timerRetx)
 			e.retries = 0
+			if ss.measure && e.sentAt > 0 {
+				ss.histInstallAck.Observe(ss.clk.Since(ss.born) + 1 - e.sentAt)
+				e.sentAt = 0
+			}
+			ss.trace.Record(telemetry.TraceAck, key, e.seq, s.peer)
 			ss.emit(Event{Kind: EventAcked, Key: key, Seq: e.seq, Peer: s.peer})
 		}
 	})
@@ -775,7 +831,11 @@ func (s *Session) handleRemovalAck(seq uint64, key string) {
 			return
 		}
 		tc.Cancel(timerRetx)
+		if ss.measure && e.sentAt > 0 {
+			ss.histRemoval.Observe(ss.clk.Since(ss.born) + 1 - e.sentAt)
+		}
 		ss.deleteEntry(s, tc)
+		ss.trace.Record(telemetry.TraceRemoval, key, seq, s.peer)
 		ss.emit(Event{Kind: EventRemoved, Key: key, Peer: s.peer})
 	})
 }
@@ -792,7 +852,7 @@ func (s *Session) touch() {
 
 // Evictions reports how many idle sessions the reaper has dropped from
 // the peer table since start.
-func (ss *Sessions) Evictions() int { return int(ss.evictions.Load()) }
+func (ss *Sessions) Evictions() int { return int(ss.evictions.Value()) }
 
 // reapInterval is the eviction scan period: a quarter of the idle
 // timeout, so eviction lands within 1.25× the configured quiet period.
@@ -890,7 +950,11 @@ func (s *Session) retrigger(key string) {
 		}
 		e.seq = s.seq.Add(1)
 		e.retries = 0
+		if ss.measure {
+			e.sentAt = ss.clk.Since(ss.born) + 1
+		}
 		ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, s.peer)
+		ss.trace.Record(telemetry.TraceTrigger, key, e.seq, s.peer)
 		ss.armTriggerRetx(tc)
 		ss.armRefresh(tc)
 		ss.emit(Event{Kind: EventRepaired, Key: key, Seq: e.seq, Peer: s.peer})

@@ -22,11 +22,11 @@ package signal
 
 import (
 	"net"
-	"sync/atomic"
 	"time"
 
 	"softstate/internal/clock"
 	"softstate/internal/singlehop"
+	"softstate/internal/telemetry"
 	"softstate/internal/variant"
 	"softstate/internal/wire"
 )
@@ -137,6 +137,23 @@ type Config struct {
 	// endpoint that emitted it (calling into *other* endpoints, as a
 	// relay does, is fine).
 	OnEvent func(Event)
+	// Metrics, when non-nil, registers the endpoint's instruments —
+	// datagram counters per wire type, lifecycle latency histograms
+	// (install→ack, removal propagation, refresh jitter), occupancy and
+	// wheel-depth gauges — on this registry. A nil registry costs the hot
+	// path nothing beyond the same atomic increments it always paid: the
+	// counters below are registry instruments either way.
+	Metrics *telemetry.Registry
+	// MetricsLabels are constant labels stamped on every instrument this
+	// endpoint registers (typically protocol and role; role is added
+	// automatically when absent).
+	MetricsLabels telemetry.Labels
+	// Trace, when non-nil, receives a lifecycle trace event at every
+	// per-key protocol step (install, trigger, retransmit, ack, refresh,
+	// summary, expiry, orphan, removal). Under a virtual clock the
+	// recorded stream is deterministic across same-seed runs. A nil
+	// tracer costs one predictable branch per step.
+	Trace *telemetry.Tracer
 }
 
 // DefaultConfig returns the paper's deployed-protocol defaults: R = 5 s,
@@ -292,25 +309,108 @@ func (s Stats) TotalSent() int {
 
 // counters is the internal, contention-free form of Stats: one atomic
 // slot per wire type, indexed by the type value, so shards never share a
-// stats lock.
+// stats lock. The slots are telemetry.Counter — value-embedded atomics,
+// exactly as cheap as the bare atomic.Int64 they replaced — so an
+// endpoint given a Config.Metrics registry exposes them as Prometheus
+// series without a second set of increments.
 type counters struct {
-	sent          [wire.NumTypes]atomic.Int64
-	received      [wire.NumTypes]atomic.Int64
-	decodeErrors  atomic.Int64
-	coalescedAcks atomic.Int64
+	sent          [wire.NumTypes]telemetry.Counter
+	received      [wire.NumTypes]telemetry.Counter
+	decodeErrors  telemetry.Counter
+	coalescedAcks telemetry.Counter
 }
+
+// typeNames is the sorted-once key set snapshot() reuses: wire type names
+// are static, so rendering t.String() per type per snapshot (and the
+// garbage of rebuilding it) was pure waste on a stats-polling hot loop.
+var typeNames = func() (names [wire.NumTypes]string) {
+	for t := wire.TypeTrigger; int(t) < wire.NumTypes; t++ {
+		names[t] = t.String()
+	}
+	return
+}()
 
 func (c *counters) snapshot() Stats {
 	out := Stats{Sent: make(map[string]int), Received: make(map[string]int)}
-	for t := wire.TypeTrigger; int(t) < wire.NumTypes; t++ {
-		if n := c.sent[t].Load(); n > 0 {
-			out.Sent[t.String()] = int(n)
+	for t := 0; t < wire.NumTypes; t++ {
+		if n := c.sent[t].Value(); n > 0 {
+			out.Sent[typeNames[t]] = int(n)
 		}
-		if n := c.received[t].Load(); n > 0 {
-			out.Received[t.String()] = int(n)
+		if n := c.received[t].Value(); n > 0 {
+			out.Received[typeNames[t]] = int(n)
 		}
 	}
-	out.DecodeErrors = int(c.decodeErrors.Load())
-	out.CoalescedAcks = int(c.coalescedAcks.Load())
+	out.DecodeErrors = int(c.decodeErrors.Value())
+	out.CoalescedAcks = int(c.coalescedAcks.Value())
+	return out
+}
+
+// totalSent and totalReceived sum across wire types — the cheap suppliers
+// behind the paper-metric Rate gauge and the datagram totals snapshot
+// dumps print.
+func (c *counters) totalSent() int64 {
+	var n int64
+	for t := 0; t < wire.NumTypes; t++ {
+		n += c.sent[t].Value()
+	}
+	return n
+}
+
+func (c *counters) totalReceived() int64 {
+	var n int64
+	for t := 0; t < wire.NumTypes; t++ {
+		n += c.received[t].Value()
+	}
+	return n
+}
+
+// register exposes every slot on r under the endpoint's constant labels,
+// one series per wire type actually used by the protocol machinery.
+func (c *counters) register(r *telemetry.Registry, labels telemetry.Labels) {
+	if r == nil {
+		return
+	}
+	for t := 0; t < wire.NumTypes; t++ {
+		tl := withType(labels, typeNames[t])
+		r.RegisterCounter(telemetry.Opts{
+			Name:   "softstate_datagrams_sent_total",
+			Help:   "Signaling datagrams written, by wire type.",
+			Labels: tl,
+		}, &c.sent[t])
+		r.RegisterCounter(telemetry.Opts{
+			Name:   "softstate_datagrams_received_total",
+			Help:   "Signaling datagrams accepted, by wire type.",
+			Labels: tl,
+		}, &c.received[t])
+	}
+	r.RegisterCounter(telemetry.Opts{
+		Name:   "softstate_decode_errors_total",
+		Help:   "Datagrams rejected by the wire codec.",
+		Labels: labels,
+	}, &c.decodeErrors)
+	r.RegisterCounter(telemetry.Opts{
+		Name:   "softstate_coalesced_acks_total",
+		Help:   "Individual acknowledgements carried inside ack-batch datagrams.",
+		Labels: labels,
+	}, &c.coalescedAcks)
+}
+
+// withType copies labels and adds the wire-type dimension.
+func withType(labels telemetry.Labels, typ string) telemetry.Labels {
+	tl := make(telemetry.Labels, len(labels)+1)
+	for k, v := range labels {
+		tl[k] = v
+	}
+	tl["type"] = typ
+	return tl
+}
+
+// metricsLabelsFor returns cfg's constant labels with the endpoint role
+// filled in (existing labels win over the defaults).
+func metricsLabelsFor(cfg Config, role string) telemetry.Labels {
+	out := telemetry.Labels{"role": role, "protocol": cfg.Variant.Name}
+	for k, v := range cfg.MetricsLabels {
+		out[k] = v
+	}
 	return out
 }

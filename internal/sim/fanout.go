@@ -9,6 +9,7 @@ import (
 	"softstate/internal/lossy"
 	livenode "softstate/internal/node"
 	"softstate/internal/signal"
+	"softstate/internal/telemetry"
 )
 
 // FanoutConfig parameterizes a virtual-time fan-out run: one real
@@ -33,6 +34,13 @@ type FanoutConfig struct {
 	// Unbatched disables same-tick delivery batching on the switch; see
 	// LiveConfig.Unbatched.
 	Unbatched bool
+	// Metrics, when non-nil, instruments the node side (not the Peers
+	// receivers, whose per-endpoint series would swamp a scrape) and adds
+	// the virtual clock's gate-park counter. Nil runs exactly the
+	// pre-telemetry hot path.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, records the node side's lifecycle events.
+	Trace *telemetry.Tracer
 }
 
 func (cfg *FanoutConfig) applyDefaults() error {
@@ -112,7 +120,19 @@ func buildLiveFanout(cfg FanoutConfig) (*liveFanout, error) {
 		Clock:           v,
 	}
 	f := &liveFanout{clk: v, cfg: cfg}
-	n, err := livenode.New(nw.Endpoint("node"), scfg)
+	// Only the node side carries instruments and the tracer: Peers copies
+	// of every receiver series would bury the scrape, and the node is
+	// where the throughput question lives.
+	ncfg := scfg
+	ncfg.Metrics = cfg.Metrics
+	ncfg.Trace = cfg.Trace
+	if cfg.Metrics != nil {
+		cfg.Metrics.GaugeFunc(telemetry.Opts{
+			Name: "softstate_gate_parks_total",
+			Help: "Times the virtual-time driver parked waiting for the quiesce gate.",
+		}, func() float64 { return float64(v.Parks()) })
+	}
+	n, err := livenode.New(nw.Endpoint("node"), ncfg)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"softstate/internal/signal"
+	"softstate/internal/telemetry"
 )
 
 // BenchmarkLiveFanoutThroughput is the virtual-time event-throughput
@@ -38,6 +39,40 @@ func BenchmarkLiveFanoutThroughput(b *testing.B) {
 	renewed := float64(b.N) * float64(cfg.Peers) * float64(cfg.Keys)
 	b.ReportMetric(renewed/b.Elapsed().Seconds(), "keys-refreshed/s")
 	b.ReportMetric(float64(b.N)*cfg.RefreshInterval.Seconds()/b.Elapsed().Seconds(), "virtual-s/wall-s")
+}
+
+// BenchmarkLiveFanoutThroughputTelemetry is the same workload with the
+// full observability layer on — node-side registry instruments and the
+// lifecycle tracer recording into its ring. Comparing against
+// BenchmarkLiveFanoutThroughput bounds what telemetry costs when enabled;
+// the disabled case is the plain benchmark itself, since nil
+// Registry/Tracer run the identical pre-telemetry instruction stream plus
+// one predictable branch per call site.
+func BenchmarkLiveFanoutThroughputTelemetry(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-key topology; skipped in -short")
+	}
+	cfg := FanoutConfig{
+		Peers:           64,
+		Keys:            16384,
+		RefreshInterval: 100 * time.Millisecond,
+		Timeout:         time.Hour,
+		Metrics:         telemetry.NewRegistry(),
+		Trace:           telemetry.NewTracer(telemetry.TracerConfig{Capacity: 1 << 14}),
+	}
+	f, err := buildLiveFanout(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.clk.Run(cfg.RefreshInterval)
+	}
+	b.StopTimer()
+	renewed := float64(b.N) * float64(cfg.Peers) * float64(cfg.Keys)
+	b.ReportMetric(renewed/b.Elapsed().Seconds(), "keys-refreshed/s")
+	b.ReportMetric(float64(cfg.Trace.Len())+float64(cfg.Trace.Overwritten()), "trace-events")
 }
 
 // BenchmarkLiveSingleHopEvents measures raw harness event throughput on a

@@ -152,6 +152,27 @@ func (t *Table[V]) NumShards() int { return len(t.shards) }
 // Len returns the number of entries.
 func (t *Table[V]) Len() int { return int(t.size.Load()) }
 
+// WheelDepth returns the number of armed timers on shard i's wheel — the
+// load metric telemetry exposes per shard. It takes the shard lock
+// briefly; scrape-time use only.
+func (t *Table[V]) WheelDepth(i int) int {
+	sh := &t.shards[i]
+	sh.mu.Lock()
+	n := sh.wheel.count
+	sh.mu.Unlock()
+	return n
+}
+
+// WheelDepths returns every shard's armed-timer count, index-aligned with
+// shard numbers.
+func (t *Table[V]) WheelDepths() []int {
+	out := make([]int, len(t.shards))
+	for i := range t.shards {
+		out[i] = t.WheelDepth(i)
+	}
+	return out
+}
+
 // Close stops the shard goroutines and waits for in-flight expiry
 // callbacks to finish. Timers never fire after Close returns; the map
 // contents remain readable. In virtual mode Close must run on the clock's

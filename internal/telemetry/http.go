@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the introspection handler signald serves on -metrics-addr:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/metrics.json  the same snapshot as a flat JSON object
+//	/debug/vars    standard expvar (cmdline, memstats, plus the registry
+//	               under the "softstate" key)
+//	/debug/pprof/  standard runtime profiles
+//
+// Handlers gather on demand; nothing is cached between scrapes.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+	// expvar's default handler is bound to DefaultServeMux; rebuild the
+	// same output here so the metrics listener stays self-contained.
+	mux.HandleFunc("/debug/vars", expvarHandler)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// PublishExpvar exposes the registry under the given expvar name
+// (typically "softstate"), so /debug/vars carries the full snapshot next
+// to memstats. Publishing twice with one name panics in expvar, so call
+// it once per process.
+func PublishExpvar(name string, r *Registry) {
+	expvar.Publish(name, expvar.Func(func() any {
+		out := make(map[string]any)
+		for _, s := range r.Gather() {
+			if s.Hist != nil {
+				out[s.ID] = map[string]any{
+					"count":  s.Hist.Count,
+					"sum_ns": s.Hist.SumNs,
+					"p50_ns": int64(s.Hist.Quantile(0.50)),
+					"p99_ns": int64(s.Hist.Quantile(0.99)),
+				}
+				continue
+			}
+			out[s.ID] = s.Value
+		}
+		return out
+	}))
+}
+
+// expvarHandler mirrors expvar.Handler() output (that handler is
+// unexported state bound to the default mux).
+func expvarHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write([]byte("{\n"))
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			w.Write([]byte(",\n"))
+		}
+		first = false
+		w.Write([]byte("\"" + kv.Key + "\": " + kv.Value.String()))
+	})
+	w.Write([]byte("\n}\n"))
+}
