@@ -126,14 +126,13 @@ func (e entry) summary() string {
 }
 
 // installAckQuantiles pulls the install→ack latency distribution out of a
-// run's registry, merging the (single) node-side series.
+// run's registry.
 func installAckQuantiles(reg *telemetry.Registry) (p50, p99 float64) {
-	for _, s := range reg.Gather() {
-		if s.Name == "softstate_install_ack_seconds" && s.Hist != nil && s.Hist.Count > 0 {
-			return float64(s.Hist.Quantile(0.50)), float64(s.Hist.Quantile(0.99))
-		}
+	qs, ok := reg.Quantiles("softstate_install_ack_seconds", 0.50, 0.99)
+	if !ok {
+		return 0, 0
 	}
-	return 0, 0
+	return float64(qs[0]), float64(qs[1])
 }
 
 // liveFanout is the headline benchmark: one node renews Peers×Keys keys

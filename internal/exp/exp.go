@@ -34,6 +34,12 @@ type Experiment struct {
 	Simulated bool
 	// Run produces the table.
 	Run func(Options) (*report.Table, error)
+	// Artifact, when set, produces the experiment's full versioned
+	// artifact: multiple frames (analytic beside live), recorded deltas,
+	// telemetry snapshots, and an embedded tolerance/ordering policy.
+	// Experiments without one get a single analytic frame wrapped around
+	// Run's table by BuildArtifact.
+	Artifact func(Options) (*report.Artifact, error)
 }
 
 var registry []Experiment

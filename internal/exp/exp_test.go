@@ -35,6 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-timerdist", "ablation-fifo", "ablation-notification",
 		"ablation-multihop-sim", "ablation-cost-weight",
 		"ext-convergence", "ext-repair", "ext-sensitivity",
+		"ext-loss50", "ext-chain20", "ext-fanout1024", "ext-topology",
 		"live5",
 	}
 	for _, id := range want {

@@ -7,6 +7,7 @@ import (
 	"softstate/internal/report"
 	"softstate/internal/sim"
 	"softstate/internal/singlehop"
+	"softstate/internal/telemetry"
 	"softstate/internal/variant"
 )
 
@@ -56,6 +57,10 @@ func liveSweepConfig(o Options) sim.LiveConfig {
 // the key count, and the protocol timers carry over directly. The live
 // workload sends no mid-life updates, so λu = 0.
 func analyticParams(cfg sim.LiveConfig) singlehop.Params {
+	falseSig := 0.0
+	if cfg.MeanFalseSignal > 0 {
+		falseSig = 1 / (cfg.MeanFalseSignal.Seconds() * float64(cfg.Keys))
+	}
 	return singlehop.Params{
 		UpdateRate:  0,
 		RemovalRate: 1 / cfg.MeanLifetime.Seconds(),
@@ -64,7 +69,7 @@ func analyticParams(cfg sim.LiveConfig) singlehop.Params {
 		Refresh:     cfg.RefreshInterval.Seconds(),
 		Timeout:     cfg.Timeout.Seconds(),
 		Retransmit:  cfg.Retransmit.Seconds(),
-		FalseSignal: 1 / (cfg.MeanFalseSignal.Seconds() * float64(cfg.Keys)),
+		FalseSignal: falseSig,
 	}
 }
 
@@ -122,5 +127,68 @@ func init() {
 			}
 			return t, nil
 		},
+		Artifact: live5Artifact,
 	})
+}
+
+// live5Artifact is the two-frame form of the five-variant comparison:
+// the analytic predictions and the live measurements as separate frames
+// with recorded per-protocol deltas, one telemetry snapshot per live run
+// (each run gets its own registry — metrics are pure observers, so the
+// results are identical to the uninstrumented Run path), and the paper's
+// qualitative ordering embedded as the artifact's regression policy.
+func live5Artifact(o Options) (*report.Artifact, error) {
+	base := liveSweepConfig(o)
+	p := analyticParams(base)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+
+	ana := report.New("Single-hop analytic model at matched parameters", "protocol", "I", "rate")
+	live := report.New("Five variants on the live wire stack", "protocol", "I", "rate", "machinery")
+	tel := map[string]report.TelemetrySnapshot{}
+	for _, prof := range variant.All() {
+		cfg := base
+		cfg.Protocol = prof.Proto
+		cfg.Metrics = telemetry.NewRegistry()
+		res, err := sim.RunLive(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s live run: %w", prof, err)
+		}
+		met, err := singlehop.Analyze(prof.Proto, p)
+		if err != nil {
+			return nil, fmt.Errorf("%s analytic: %w", prof, err)
+		}
+		ana.AddRow(prof.Name,
+			fmt.Sprintf("%.5f", met.Inconsistency),
+			fmt.Sprintf("%.4g", met.NormalizedRate))
+		live.AddRow(prof.Name,
+			fmt.Sprintf("%.5f", res.Inconsistency),
+			fmt.Sprintf("%.4g", res.Rate),
+			fmt.Sprintf("%d", res.Machinery()))
+		tel[prof.Name] = snapshotTelemetry(cfg.Metrics)
+	}
+
+	anaFrame := report.NewFrame(report.FrameAnalytic, ana)
+	liveFrame := report.NewFrame(report.FrameLive, live)
+	soft := []string{"SS", "SS+ER", "SS+RT", "SS+RTR"}
+	return &report.Artifact{
+		Frames:    []report.Frame{anaFrame, liveFrame},
+		Deltas:    report.ComputeDeltas(anaFrame, liveFrame, []string{"I", "rate"}),
+		Telemetry: tel,
+		Checks: &report.Checks{
+			// The analytic frame is pure float math (default tolerance);
+			// the live frame gets headroom for cross-platform math-library
+			// drift shifting a handful of samples.
+			RelTol: map[string]float64{"live/I": 0.10, "live/rate": 0.05, "live/machinery": 0.05},
+			AbsTol: map[string]float64{"live/I": 0.005},
+			Orderings: []report.OrderRule{
+				// SS+RTR lowest I among the soft-state variants (HS can dip
+				// below it — the model predicts no ordering there), SS
+				// highest overall; both frames must agree.
+				{KeyColumn: "protocol", ValueColumn: "I", LowestKey: "SS+RTR", AmongKeys: soft},
+				{KeyColumn: "protocol", ValueColumn: "I", HighestKey: "SS"},
+			},
+		},
+	}, nil
 }

@@ -19,9 +19,9 @@ import (
 // distinct keys (origin-scoped names like "flow/<id>"); two senders
 // installing the same key at a relay merge last-writer-wins downstream.
 type Relay struct {
-	rcv  *signal.Receiver
-	down *Node
-	next net.Addr
+	rcv   *signal.Receiver
+	down  *Node
+	nexts []net.Addr
 
 	relayed atomic.Int64 // downstream operations attempted
 	errs    atomic.Int64 // downstream operations rejected (e.g. closing)
@@ -31,10 +31,29 @@ type Relay struct {
 // state is held on the upstream conn, and propagated to next over the
 // downstream conn. The two conns must be distinct sockets.
 func NewRelay(upstream, downstream net.PacketConn, next net.Addr, cfg signal.Config) (*Relay, error) {
-	if upstream == nil || downstream == nil || next == nil {
-		return nil, errors.New("node: nil relay conn or next hop")
+	if next == nil {
+		return nil, errors.New("node: nil relay next hop")
 	}
-	r := &Relay{next: next}
+	return NewFanRelay(upstream, downstream, []net.Addr{next}, cfg)
+}
+
+// NewFanRelay creates a relay that re-signals every upstream state change
+// to *each* of the nexts — the interior node of a distribution tree. The
+// downstream node keeps one session per next hop on the single downstream
+// socket, so the fan-out cost is per-peer sessions, not per-peer sockets.
+func NewFanRelay(upstream, downstream net.PacketConn, nexts []net.Addr, cfg signal.Config) (*Relay, error) {
+	if upstream == nil || downstream == nil {
+		return nil, errors.New("node: nil relay conn")
+	}
+	if len(nexts) == 0 {
+		return nil, errors.New("node: relay needs ≥ 1 next hop")
+	}
+	for _, n := range nexts {
+		if n == nil {
+			return nil, errors.New("node: nil relay next hop")
+		}
+	}
+	r := &Relay{nexts: append([]net.Addr(nil), nexts...)}
 	dcfg := cfg
 	dcfg.OnEvent = nil // the user hook observes the upstream side only
 	down, err := New(downstream, dcfg)
@@ -66,16 +85,20 @@ func NewRelay(upstream, downstream net.PacketConn, next net.Addr, cfg signal.Con
 func (r *Relay) onUpstream(ev signal.Event) {
 	switch ev.Kind {
 	case signal.EventInstalled, signal.EventUpdated:
-		r.relayed.Add(1)
-		if err := r.down.Install(r.next, ev.Key, ev.Value); err != nil {
-			r.errs.Add(1)
+		for _, next := range r.nexts {
+			r.relayed.Add(1)
+			if err := r.down.Install(next, ev.Key, ev.Value); err != nil {
+				r.errs.Add(1)
+			}
 		}
 	case signal.EventRemoved, signal.EventExpired, signal.EventFalseRemoval, signal.EventOrphaned:
-		r.relayed.Add(1)
-		if err := r.down.Remove(r.next, ev.Key); err != nil {
-			// Unknown keys are expected: a removal can outrun an install
-			// that never propagated (e.g. relayed while shutting down).
-			r.errs.Add(1)
+		for _, next := range r.nexts {
+			r.relayed.Add(1)
+			if err := r.down.Remove(next, ev.Key); err != nil {
+				// Unknown keys are expected: a removal can outrun an install
+				// that never propagated (e.g. relayed while shutting down).
+				r.errs.Add(1)
+			}
 		}
 	}
 }

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestArtifactRoundTripDeterministic(t *testing.T) {
+	a := mkArtifact()
+	a.Version = "v0-test"
+	a.Telemetry = map[string]TelemetrySnapshot{
+		"SS":     {"softstate_keys_installed": 24, "softstate_send_errors": 0},
+		"SS+RTR": {"softstate_keys_installed": 24},
+	}
+	a.Checks = &Checks{RelTol: map[string]float64{"SS": 0.2}}
+
+	var b1, b2 bytes.Buffer
+	if err := EncodeArtifact(&b1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeArtifact(&b2, a); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("encoding the same artifact twice must be byte-identical")
+	}
+	if !bytes.HasSuffix(b1.Bytes(), []byte("\n")) {
+		t.Fatal("artifact JSON must end with a newline")
+	}
+
+	got, err := DecodeArtifact(&b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b3 bytes.Buffer
+	if err := EncodeArtifact(&b3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b2.Bytes(), b3.Bytes()) {
+		t.Fatal("decode→encode must round-trip byte-identically")
+	}
+}
+
+func TestComputeDeltas(t *testing.T) {
+	ana := NewFrame(FrameAnalytic, func() *Table {
+		tab := New("a", "protocol", "I", "rate")
+		tab.AddRow("SS", "0.10", "1.0")
+		tab.AddRow("HS", "0.02", "4.0")
+		return tab
+	}())
+	live := NewFrame(FrameLive, func() *Table {
+		tab := New("l", "protocol", "I", "rate", "machinery")
+		tab.AddRow("SS", "0.12", "1.1", "42")
+		tab.AddRow("SS+ER", "0.05", "1.5", "50") // no analytic partner
+		return tab
+	}())
+
+	ds := ComputeDeltas(ana, live, nil)
+	if len(ds) != 2 {
+		t.Fatalf("want deltas for SS/I and SS/rate only, got %+v", ds)
+	}
+	d := ds[0]
+	if d.Key != "SS" || d.Column != "I" {
+		t.Fatalf("first delta should be SS/I, got %+v", d)
+	}
+	if got := d.Live - d.Analytic; !almost(d.Abs, got) {
+		t.Fatalf("abs: got %g want %g", d.Abs, got)
+	}
+	if !almost(d.Rel, d.Abs/d.Analytic) {
+		t.Fatalf("rel: got %g want %g", d.Rel, d.Abs/d.Analytic)
+	}
+
+	// Explicit column selection.
+	ds = ComputeDeltas(ana, live, []string{"rate"})
+	if len(ds) != 1 || ds[0].Column != "rate" {
+		t.Fatalf("explicit column selection, got %+v", ds)
+	}
+}
+
+func TestComputeDeltasZeroAnalytic(t *testing.T) {
+	ana := NewFrame(FrameAnalytic, func() *Table {
+		tab := New("a", "k", "v")
+		tab.AddRow("x", "0")
+		return tab
+	}())
+	live := NewFrame(FrameLive, func() *Table {
+		tab := New("l", "k", "v")
+		tab.AddRow("x", "0.5")
+		return tab
+	}())
+	ds := ComputeDeltas(ana, live, nil)
+	if len(ds) != 1 || ds[0].Rel != 0 {
+		t.Fatalf("rel must be 0 when analytic is 0, got %+v", ds)
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	return d < 1e-12 && d > -1e-12
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	tab := New("t", "name", "value")
+	tab.AddRow("a|b", "1")
+	var buf bytes.Buffer
+	if err := tab.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| name | value |") {
+		t.Fatalf("header row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "| --- | --- |") {
+		t.Fatalf("rule row missing:\n%s", out)
+	}
+	if !strings.Contains(out, `a\|b`) {
+		t.Fatalf("pipe must be escaped:\n%s", out)
+	}
+}
+
+func TestWriteArtifactMarkdown(t *testing.T) {
+	a := mkArtifact()
+	a.Version = "v0-test"
+	a.Deltas = []Delta{{Key: "SS", Column: "I", Live: 0.12, Analytic: 0.1, Abs: 0.02, Rel: 0.2}}
+	a.Telemetry = map[string]TelemetrySnapshot{"SS": {"softstate_keys_installed": 24}}
+	var buf bytes.Buffer
+	if err := WriteArtifactMarkdown(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# figX — test figure",
+		"## analytic frame",
+		"## Live vs analytic deltas",
+		"## Telemetry",
+		"softstate_keys_installed",
+		"seed `42`",
+		"version `v0-test`",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	livenode "softstate/internal/node"
 	"softstate/internal/rand"
 	"softstate/internal/signal"
+	"softstate/internal/telemetry"
 	"softstate/internal/variant"
 )
 
@@ -31,7 +32,18 @@ type LiveConfig struct {
 	// Hops is the number of state-holding links: 1 runs Sender→Receiver
 	// over one lossy pipe; ≥2 runs a node.Chain of Hops+1 nodes (origin,
 	// Hops-1 relays, tail receiver), every link independently impaired.
+	// Under Topology "ring" it is the node count of the cycle; under
+	// "tree" it is the tree depth (every leaf sits Hops hops from the
+	// root).
 	Hops int
+	// Topology selects the multi-hop wiring: "chain" (default — the
+	// paper's line of relays), "ring" (a unidirectional Hops-node cycle,
+	// consistency sampled where the signal arrives back at the origin),
+	// or "tree" (a TreeFanout-ary distribution tree of depth Hops,
+	// consistency sampled at every leaf).
+	Topology string
+	// TreeFanout is the per-node fan-out of a "tree" run (default 2).
+	TreeFanout int
 	// Keys is the number of concurrently signaled keys.
 	Keys int
 	// Loss, Delay, Jitter impair every link.
@@ -67,6 +79,13 @@ type LiveConfig struct {
 	// Seed makes the run reproducible; runs with equal seeds produce
 	// byte-identical LiveResults.
 	Seed uint64
+	// Metrics, when non-nil, instruments every endpoint with the runtime
+	// counters and latency histograms, and on 1-hop runs additionally
+	// attaches the live paper-metric collector (the I and Λ gauges) to
+	// the sender — the snapshot sigfig embeds in artifacts. Metrics are
+	// pure observers: a run's LiveResult is identical with or without
+	// them.
+	Metrics *telemetry.Registry
 	// Unbatched disables same-tick delivery batching on the links (one
 	// kernel event and one gate hold per datagram, the pre-batching
 	// semantics). The determinism regression tests prove batched and
@@ -102,6 +121,20 @@ func (cfg *LiveConfig) applyDefaults() error {
 	if cfg.Seed == 0 {
 		cfg.Seed = 0x5057a7e
 	}
+	switch cfg.Topology {
+	case "", "chain":
+		cfg.Topology = "chain"
+	case "ring":
+		if cfg.Hops < 2 {
+			return fmt.Errorf("sim: ring topology needs Hops ≥ 2 nodes, got %d", cfg.Hops)
+		}
+	case "tree":
+		if cfg.TreeFanout <= 0 {
+			cfg.TreeFanout = 2
+		}
+	default:
+		return fmt.Errorf("sim: unknown topology %q (want chain, ring, or tree)", cfg.Topology)
+	}
 	return nil
 }
 
@@ -113,9 +146,13 @@ type LiveResult struct {
 	Hops     int
 	Keys     int
 	Loss     float64
+	// Topology echoes the wiring; Leaves is the number of consistency
+	// sampling points (1 for chain and ring, TreeFanout^Hops for tree).
+	Topology string
+	Leaves   int
 
-	// Inconsistency is the sampled fraction of (key, time) in which the
-	// tail endpoint disagreed with the origin's intent — the live
+	// Inconsistency is the sampled fraction of (key, leaf, time) in which
+	// a sampled endpoint disagreed with the origin's intent — the live
 	// counterpart of the paper's I metric (eq. 1), measured end to end
 	// across all hops.
 	Inconsistency       float64
@@ -146,14 +183,17 @@ func (r LiveResult) Machinery() int {
 		r.Sent["removal-ack"] + r.Sent["probe"] + r.Sent["probe-ack"]
 }
 
-// liveStack abstracts the two topologies under one workload driver.
+// liveStack abstracts the topologies under one workload driver.
 type liveStack struct {
 	install func(key string, value []byte) error
 	remove  func(key string) error
-	tailGet func(key string) ([]byte, bool)
-	inject  func(key string) bool
-	stats   func() []signal.Stats
-	close   func()
+	// tails are the consistency sampling points — every endpoint whose
+	// view should match the origin's intent (one for chain/ring, every
+	// leaf for tree).
+	tails  []func(key string) ([]byte, bool)
+	inject func(key string) bool
+	stats  func() []signal.Stats
+	close  func()
 }
 
 // RunLive executes one experiment on the real runtime in virtual time.
@@ -171,6 +211,13 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		CoalesceAcks:    cfg.CoalesceAcks,
 		Shards:          cfg.Shards,
 		Clock:           v,
+		Metrics:         cfg.Metrics,
+	}
+	if cfg.Metrics != nil {
+		scfg.MetricsLabels = telemetry.Labels{
+			"protocol": variant.For(cfg.Protocol).Name,
+			"topology": cfg.Topology,
+		}
 	}
 	link := lossy.Config{
 		Loss:      cfg.Loss,
@@ -186,7 +233,10 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	}
 	defer stack.close()
 
-	res := LiveResult{Protocol: cfg.Protocol, Hops: cfg.Hops, Keys: cfg.Keys, Loss: cfg.Loss}
+	res := LiveResult{
+		Protocol: cfg.Protocol, Hops: cfg.Hops, Keys: cfg.Keys, Loss: cfg.Loss,
+		Topology: cfg.Topology, Leaves: len(stack.tails),
+	}
 	rng := rand.NewSource(cfg.Seed)
 	intent := make([][]byte, cfg.Keys) // nil = removed; the origin's truth
 	version := make([]int, cfg.Keys)
@@ -246,16 +296,18 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		v.AfterFunc(expDelay(cfg.MeanFalseSignal), falseSig)
 	}
 
-	// Consistency sampling: every Sample, compare the tail's view of each
-	// key against the origin's intent.
+	// Consistency sampling: every Sample, compare each sampling point's
+	// view of each key against the origin's intent.
 	var sample func()
 	sample = func() {
 		for k := 0; k < cfg.Keys; k++ {
-			got, ok := stack.tailGet(keyName(k))
 			want := intent[k]
-			res.Samples++
-			if ok != (want != nil) || (ok && !bytes.Equal(got, want)) {
-				res.InconsistentSamples++
+			for _, tail := range stack.tails {
+				got, ok := tail(keyName(k))
+				res.Samples++
+				if ok != (want != nil) || (ok && !bytes.Equal(got, want)) {
+					res.InconsistentSamples++
+				}
 			}
 		}
 		v.AfterFunc(cfg.Sample, sample)
@@ -279,27 +331,101 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	return res, nil
 }
 
-// buildLiveStack wires the endpoints for the configured hop count.
+// buildLiveStack wires the endpoints for the configured topology and hop
+// count.
 func buildLiveStack(cfg LiveConfig, scfg signal.Config, link lossy.Config) (*liveStack, error) {
+	switch cfg.Topology {
+	case "ring":
+		r, err := livenode.NewRing(cfg.Hops, scfg, link)
+		if err != nil {
+			return nil, err
+		}
+		return &liveStack{
+			install: r.Install,
+			remove:  r.Remove,
+			tails:   []func(string) ([]byte, bool){r.Home().Get},
+			inject:  r.Home().InjectFalseRemoval,
+			stats: func() []signal.Stats {
+				out := []signal.Stats{r.Origin().Stats()}
+				for _, rel := range r.Relays() {
+					out = append(out, rel.Receiver().Stats(), rel.Downstream().Stats())
+				}
+				out = append(out, r.Home().Stats())
+				return out
+			},
+			close: func() { r.Close() },
+		}, nil
+	case "tree":
+		t, err := livenode.NewTree(cfg.TreeFanout, cfg.Hops, scfg, link)
+		if err != nil {
+			return nil, err
+		}
+		tails := make([]func(string) ([]byte, bool), len(t.Leaves))
+		for i, l := range t.Leaves {
+			tails[i] = l.Get
+		}
+		return &liveStack{
+			install: t.Install,
+			remove:  t.Remove,
+			tails:   tails,
+			inject:  t.Leaves[0].InjectFalseRemoval,
+			stats: func() []signal.Stats {
+				out := []signal.Stats{t.Root.Stats()}
+				for _, r := range t.Relays {
+					out = append(out, r.Receiver().Stats(), r.Downstream().Stats())
+				}
+				for _, l := range t.Leaves {
+					out = append(out, l.Stats())
+				}
+				return out
+			},
+			close: func() { t.Close() },
+		}, nil
+	}
 	if cfg.Hops == 1 {
 		a, b, err := lossy.Pipe(link)
 		if err != nil {
 			return nil, err
 		}
+		// On the instrumented single-hop run, attach the live paper-metric
+		// collector to the sender: its I and Λ gauges are the snapshot
+		// sigfig embeds next to the run's sampled inconsistency. The
+		// datagram supplier is late-bound (the collector registers before
+		// the endpoints exist), exactly signald's wiring.
+		var sentSupplier func() int64
+		if cfg.Metrics != nil {
+			pm := telemetry.NewPaperMetrics(telemetry.PaperConfig{
+				Clock:       scfg.Clock,
+				AckExpected: variant.For(cfg.Protocol).ReliableTrigger,
+				Sent: func() int64 {
+					if sentSupplier != nil {
+						return sentSupplier()
+					}
+					return 0
+				},
+			})
+			pm.Register(cfg.Metrics, scfg.MetricsLabels)
+			scfg.OnEvent = paperHook(pm)
+		}
 		snd, err := signal.NewSender(a, b.LocalAddr(), scfg)
 		if err != nil {
 			return nil, err
 		}
-		rcv, err := signal.NewReceiver(b, scfg)
+		rcfg := scfg
+		rcfg.OnEvent = nil // the collector observes the sender side only
+		rcv, err := signal.NewReceiver(b, rcfg)
 		if err != nil {
 			snd.Close()
 			return nil, err
+		}
+		sentSupplier = func() int64 {
+			return int64(snd.Stats().TotalSent() + rcv.Stats().TotalSent())
 		}
 		from := a.LocalAddr()
 		return &liveStack{
 			install: snd.Install,
 			remove:  snd.Remove,
-			tailGet: func(key string) ([]byte, bool) { return rcv.GetFrom(from, key) },
+			tails:   []func(string) ([]byte, bool){func(key string) ([]byte, bool) { return rcv.GetFrom(from, key) }},
 			inject:  rcv.InjectFalseRemoval,
 			stats:   func() []signal.Stats { return []signal.Stats{snd.Stats(), rcv.Stats()} },
 			close: func() {
@@ -315,7 +441,7 @@ func buildLiveStack(cfg LiveConfig, scfg signal.Config, link lossy.Config) (*liv
 	return &liveStack{
 		install: c.Install,
 		remove:  c.Remove,
-		tailGet: c.Tail.Get,
+		tails:   []func(string) ([]byte, bool){c.Tail.Get},
 		inject:  c.Tail.InjectFalseRemoval,
 		stats: func() []signal.Stats {
 			out := []signal.Stats{c.Origin.Stats()}
@@ -327,6 +453,29 @@ func buildLiveStack(cfg LiveConfig, scfg signal.Config, link lossy.Config) (*liv
 		},
 		close: func() { c.Close() },
 	}, nil
+}
+
+// paperHook adapts the signal event stream to the paper-metric
+// collector's key-lifecycle view (the same mapping signald uses). Keys
+// are qualified by peer address so identical keys at different receivers
+// do not alias.
+func paperHook(pm *telemetry.PaperMetrics) func(signal.Event) {
+	return func(ev signal.Event) {
+		key := ev.Key
+		if ev.Peer != nil {
+			key = ev.Peer.String() + "\x00" + key
+		}
+		switch ev.Kind {
+		case signal.EventInstalled, signal.EventUpdated, signal.EventRepaired:
+			pm.OnInstall(key)
+		case signal.EventAcked:
+			pm.OnAck(key)
+		case signal.EventRemoved, signal.EventGaveUp:
+			pm.OnRemove(key)
+		case signal.EventExpired, signal.EventOrphaned, signal.EventFalseRemoval:
+			pm.OnLost(key)
+		}
+	}
 }
 
 // ConsistencyVsLoss sweeps the loss rate, one RunLive per point — the

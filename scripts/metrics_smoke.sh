@@ -2,21 +2,53 @@
 # Metrics smoke test: start signald with live introspection enabled, point
 # a short-lived sender at it, scrape /metrics, and assert the paper-metric
 # gauges — the live inconsistency estimate and datagrams/key/s — are
-# present and non-negative. Run from the repo root; CI runs this as its
-# own job.
+# present and non-negative. Run from the repo root; CI runs this inside
+# the figure-diff job.
+#
+# Both listeners bind port 0 and the script parses the kernel-assigned
+# addresses out of signald's own startup lines, so the test never races
+# another process for a fixed port.
 set -euo pipefail
 
-serve_addr="${SERVE_ADDR:-127.0.0.1:19413}"
-metrics_addr="${METRICS_ADDR:-127.0.0.1:19615}"
-bin="$(mktemp -d)/signald"
+workdir="$(mktemp -d)"
+bin="$workdir/signald"
+serve_log="$workdir/serve.log"
+send_log="$workdir/send.log"
+scrape="$workdir/scrape.txt"
+
+fail() {
+	echo "FAIL: $*" >&2
+	echo "--- signald serve log ---" >&2
+	cat "$serve_log" >&2 || true
+	echo "--- signald send log ---" >&2
+	cat "$send_log" >&2 || true
+	exit 1
+}
 trap 'kill $(jobs -p) 2>/dev/null || true' EXIT
 
 go build -o "$bin" ./cmd/signald
 
-"$bin" -mode serve -addr "$serve_addr" -protocol ss+rtr \
-	-metrics-addr "$metrics_addr" >/tmp/metrics_smoke_serve.log 2>&1 &
+"$bin" -mode serve -addr 127.0.0.1:0 -protocol ss+rtr \
+	-metrics-addr 127.0.0.1:0 >"$serve_log" 2>&1 &
 
-# Wait for the metrics listener.
+# signald prints "receiver on <addr>" and "metrics on http://<addr>/metrics"
+# once bound; wait for both with a deadline.
+serve_addr="" metrics_addr=""
+for _ in $(seq 1 100); do
+	serve_addr=$(sed -n 's/^signald: .* receiver on \([0-9.:]*\) .*/\1/p' "$serve_log" | head -1)
+	metrics_addr=$(sed -n 's|^signald: metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$serve_log" | head -1)
+	if [ -n "$serve_addr" ] && [ -n "$metrics_addr" ]; then
+		break
+	fi
+	sleep 0.1
+done
+if [ -z "$serve_addr" ] || [ -z "$metrics_addr" ]; then
+	fail "signald never reported its bound addresses"
+fi
+echo "signald: receiver $serve_addr, metrics $metrics_addr"
+
+# The listener address appearing in the log does not guarantee the HTTP
+# server has served its first request; retry the first scrape too.
 up=0
 for _ in $(seq 1 50); do
 	if curl -fsS "http://$metrics_addr/metrics" >/dev/null 2>&1; then
@@ -26,32 +58,29 @@ for _ in $(seq 1 50); do
 	sleep 0.2
 done
 if [ "$up" != 1 ]; then
-	echo "metrics endpoint never came up" >&2
-	cat /tmp/metrics_smoke_serve.log >&2
-	exit 1
+	fail "metrics endpoint never answered at $metrics_addr"
 fi
 
 # Drive some real state through the receiver so the gauges move.
 "$bin" -mode send -peer "$serve_addr" -protocol ss+rtr \
 	-key smoke/key -value ok -hold 3s -refresh 300ms \
-	>/tmp/metrics_smoke_send.log 2>&1 &
+	>"$send_log" 2>&1 &
 sleep 2
 
-scrape=/tmp/metrics_smoke_scrape.txt
 curl -fsS "http://$metrics_addr/metrics" >"$scrape"
 
-fail=0
+bad=0
 for gauge in softstate_inconsistency_ratio softstate_datagrams_per_key_per_s; do
 	line=$(grep "^$gauge" "$scrape" | head -1 || true)
 	if [ -z "$line" ]; then
 		echo "FAIL: $gauge missing from /metrics" >&2
-		fail=1
+		bad=1
 		continue
 	fi
 	value=${line##* }
 	if ! awk -v v="$value" 'BEGIN { exit (v >= 0 ? 0 : 1) }'; then
 		echo "FAIL: $gauge negative: $line" >&2
-		fail=1
+		bad=1
 		continue
 	fi
 	echo "ok: $line"
@@ -63,9 +92,9 @@ curl -fsS "http://$metrics_addr/debug/vars" >/dev/null
 curl -fsS "http://$metrics_addr/debug/pprof/cmdline" >/dev/null
 echo "ok: /metrics.json, /debug/vars, /debug/pprof answer"
 
-if [ "$fail" != 0 ]; then
+if [ "$bad" != 0 ]; then
 	echo "--- scrape ---" >&2
 	cat "$scrape" >&2
-	exit 1
+	fail "gauge assertions failed"
 fi
 echo "metrics smoke passed"
