@@ -1,13 +1,16 @@
 // Command bench runs the repo's headline performance benchmarks — the
 // virtual-time live fan-out (plain and telemetry-instrumented), the
-// churned single-hop experiment, the raw state-table renew path, and one
-// live fan-out row per protocol variant (SS → HS) — and writes the
-// results as a JSON trajectory file (BENCH_6.json and successors), so
-// every future PR can show its perf delta against a recorded baseline
-// instead of a number in a commit message. Since issue 6 the rows carry
-// the telemetry snapshot too: install→ack latency quantiles from the
-// registry histograms and the lifecycle-trace volume, so the trajectory
-// records latency distributions, not just throughput.
+// churned single-hop experiment, the raw state-table renew path, one
+// live fan-out row per protocol variant (SS → HS), and one real-wire
+// loopback row per kernel-socket transport (udp, udp-batch, tcp) — and
+// writes the results as a JSON trajectory file (BENCH_7.json and
+// successors), so every future PR can show its perf delta against a
+// recorded baseline instead of a number in a commit message. Since issue
+// 6 the rows carry the telemetry snapshot too (install→ack latency
+// quantiles, lifecycle-trace volume); since issue 7 the real-wire rows
+// record datagrams-per-syscall, the batching factor of the transport
+// layer, over a key population that crosses one million keys at a single
+// node in the full-size run.
 //
 // Usage:
 //
@@ -60,6 +63,13 @@ type entry struct {
 	// TraceEvents is the lifecycle-trace volume (ring retained + dropped)
 	// on rows that ran with the tracer attached.
 	TraceEvents uint64 `json:"trace_events,omitempty"`
+	// Transport labels real-wire rows with their kernel-socket backend
+	// (udp, udp-batch, tcp).
+	Transport string `json:"transport,omitempty"`
+	// DatagramsPerSyscall is the real-wire row's write-side batching
+	// factor: datagrams moved per kernel crossing (1.0 for unbatched UDP,
+	// up to the ring size for sendmmsg).
+	DatagramsPerSyscall float64 `json:"datagrams_per_syscall,omitempty"`
 }
 
 // trajectory is the whole output file.
@@ -74,11 +84,11 @@ type trajectory struct {
 
 func main() {
 	short := flag.Bool("short", false, "run scaled-down benchmarks (CI smoke mode)")
-	out := flag.String("out", "BENCH_6.json", "output file")
+	out := flag.String("out", "BENCH_7.json", "output file")
 	flag.Parse()
 
 	tr := trajectory{
-		Issue:     6,
+		Issue:     7,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Go:        runtime.Version(),
 		CPUs:      runtime.NumCPU(),
@@ -89,6 +99,7 @@ func main() {
 	tr.Benchmarks = append(tr.Benchmarks, singleHop(*short))
 	tr.Benchmarks = append(tr.Benchmarks, statetableRenew(*short))
 	tr.Benchmarks = append(tr.Benchmarks, variantFanout(*short)...)
+	tr.Benchmarks = append(tr.Benchmarks, realwire(*short)...)
 
 	data, err := json.MarshalIndent(tr, "", "  ")
 	if err != nil {
@@ -121,6 +132,9 @@ func (e entry) summary() string {
 	}
 	if e.TraceEvents > 0 {
 		s += fmt.Sprintf(", %d trace events", e.TraceEvents)
+	}
+	if e.Transport != "" {
+		s += fmt.Sprintf(", %s: %.1f dgrams/syscall, %d held", e.Transport, e.DatagramsPerSyscall, e.HeldKeys)
 	}
 	return s
 }

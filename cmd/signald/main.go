@@ -51,6 +51,7 @@ import (
 	"softstate/internal/lossy"
 	"softstate/internal/node"
 	sig "softstate/internal/signal"
+	"softstate/internal/transport"
 	"softstate/internal/variant"
 )
 
@@ -77,6 +78,14 @@ func main() {
 		summaryKeys = flag.Int("summary-keys", 64, "max keys per summary datagram")
 		coalesce    = flag.Bool("coalesce-acks", false,
 			"batch receiver replies into one ack-batch datagram per peer per flush tick")
+		transp = flag.String("transport", "udp",
+			"wire transport: udp (one datagram per syscall), udp-batch (sendmmsg/recvmmsg batching), "+
+				"or tcp (framed stream with reconnect-and-resume, for reliable variants)")
+		sockets = flag.Int("sockets", 1,
+			"SO_REUSEPORT socket count for -transport udp-batch (each is an independent read lane)")
+		bind = flag.String("bind", "",
+			"local bind address for ephemeral sockets (send, fan-out, relay downstream); "+
+				"default loopback 127.0.0.1:0")
 		metricsAddr = flag.String("metrics-addr", "",
 			"serve live metrics on this address: /metrics (Prometheus text, including the paper's "+
 				"inconsistency and datagrams/key/s gauges), /metrics.json, /debug/vars, /debug/pprof/; "+
@@ -93,6 +102,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "signald:", err)
 		os.Exit(2)
 	}
+	tKind = *transp
+	tOpts = transport.Options{Sockets: *sockets}
+	bindAddr = *bind
 	cfg := sig.Config{
 		Protocol:        prof.Proto,
 		Variant:         &prof,
@@ -164,11 +176,12 @@ func splitPeers(list string) []string {
 }
 
 func serve(addr string, cfg sig.Config) error {
-	conn, err := net.ListenPacket("udp", addr)
+	conn, err := listenConn(addr)
 	if err != nil {
 		return err
 	}
 	cfg.OnEvent = tele.paper(*cfg.Variant, "receiver", false)
+	registerConn(conn, cfg.Metrics, "serve")
 	rcv, err := sig.NewReceiver(conn, cfg)
 	if err != nil {
 		return err
@@ -196,15 +209,16 @@ func serve(addr string, cfg sig.Config) error {
 }
 
 func send(peerAddr string, cfg sig.Config, key string, value []byte, hold time.Duration) error {
-	raddr, err := net.ResolveUDPAddr("udp", peerAddr)
+	raddr, err := resolvePeer(peerAddr)
 	if err != nil {
 		return err
 	}
-	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	conn, err := clientConn()
 	if err != nil {
 		return err
 	}
 	cfg.OnEvent = tele.paper(*cfg.Variant, "sender", cfg.Variant.ReliableTrigger)
+	registerConn(conn, cfg.Metrics, "send")
 	snd, err := sig.NewSender(conn, raddr, cfg)
 	if err != nil {
 		return err
@@ -241,20 +255,25 @@ func send(peerAddr string, cfg sig.Config, key string, value []byte, hold time.D
 // relay runs one interior hop: upstream state held at addr is re-signaled
 // to the next hop at nextHop.
 func relay(addr, nextHop string, cfg sig.Config) error {
-	next, err := net.ResolveUDPAddr("udp", nextHop)
+	next, err := resolvePeer(nextHop)
 	if err != nil {
 		return err
 	}
-	up, err := net.ListenPacket("udp", addr)
+	up, err := listenConn(addr)
 	if err != nil {
 		return err
 	}
-	down, err := net.ListenPacket("udp", ":0")
+	// The downstream socket used to bind ":0" — every interface — for what
+	// is almost always a loopback or single-host experiment; clientConn
+	// keeps it on loopback unless -bind says otherwise.
+	down, err := clientConn()
 	if err != nil {
 		up.Close()
 		return err
 	}
 	cfg.OnEvent = tele.paper(*cfg.Variant, "relay", false)
+	registerConn(up, cfg.Metrics, "upstream")
+	registerConn(down, cfg.Metrics, "downstream")
 	rly, err := node.NewRelay(up, down, next, cfg)
 	if err != nil {
 		up.Close()
@@ -293,17 +312,19 @@ func relay(addr, nextHop string, cfg sig.Config) error {
 func fanout(peerList []string, cfg sig.Config, key string, value []byte, count int, hold time.Duration) error {
 	addrs := make([]net.Addr, len(peerList))
 	for i, p := range peerList {
-		a, err := net.ResolveUDPAddr("udp", p)
+		a, err := resolvePeer(p)
 		if err != nil {
 			return err
 		}
 		addrs[i] = a
 	}
-	conn, err := net.ListenPacket("udp", ":0")
+	// Fan-out's socket also used to bind ":0" on every interface.
+	conn, err := clientConn()
 	if err != nil {
 		return err
 	}
 	cfg.OnEvent = tele.paper(*cfg.Variant, "node", cfg.Variant.ReliableTrigger)
+	registerConn(conn, cfg.Metrics, "fanout")
 	n, err := node.New(conn, cfg)
 	if err != nil {
 		conn.Close()

@@ -27,6 +27,7 @@ import (
 
 	"softstate/internal/signal"
 	"softstate/internal/telemetry"
+	"softstate/internal/transport"
 )
 
 // Node is a multi-peer signaling sender: one net.PacketConn, many
@@ -56,8 +57,13 @@ func New(conn net.PacketConn, cfg signal.Config) (*Node, error) {
 			Labels: labels,
 		}, &n.unknown)
 	}
-	n.wg.Add(1)
-	go n.readLoop()
+	// One read loop per transport lane (SO_REUSEPORT shards on batching
+	// kernel-socket backends, one lane otherwise).
+	lanes := n.ss.Conns()
+	n.wg.Add(len(lanes))
+	for _, lane := range lanes {
+		go n.readLoop(lane)
+	}
 	return n, nil
 }
 
@@ -120,20 +126,20 @@ func (n *Node) Close() error {
 	return err
 }
 
-// readLoop demultiplexes inbound datagrams by source address.
-func (n *Node) readLoop() {
+// readLoop drains one transport lane in ReadBatch strides and
+// demultiplexes each datagram by source address.
+func (n *Node) readLoop(c transport.Conn) {
 	defer n.wg.Done()
-	buf := make([]byte, 64*1024)
+	ms := transport.NewBatch(transport.DefaultBatchSize)
 	for {
-		m, from, ok := n.ss.Recv(buf)
-		if !ok {
+		cnt, err := c.ReadBatch(ms)
+		if err != nil {
 			return
 		}
-		sess, ok := n.ss.Lookup(from)
-		if !ok {
-			n.unknown.Add(1)
-			continue
+		for i := 0; i < cnt; i++ {
+			if !n.ss.HandleDatagram(ms[i].Data, ms[i].Addr) {
+				n.unknown.Add(1)
+			}
 		}
-		sess.Handle(m)
 	}
 }

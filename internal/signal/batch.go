@@ -1,0 +1,77 @@
+package signal
+
+import (
+	"net"
+
+	"softstate/internal/bufpool"
+	"softstate/internal/transport"
+	"softstate/internal/wire"
+)
+
+// batchWriter coalesces outbound datagrams into transport WriteBatch
+// calls: each add encodes onto a pooled buffer and queues; a full ring or
+// an explicit flush moves the whole batch in one syscall on batching
+// backends. It preserves add order, so deterministic virtual runs see the
+// same wire order the unbatched path produced. Not safe for concurrent
+// use — each call site owns one writer under its own serialization
+// (summary sweeps under sweepMu, ack flushes under ackMu).
+type batchWriter struct {
+	tp    *fencedConn
+	ctrs  *counters
+	ms    []transport.Message
+	bufs  []*bufpool.Buf
+	types []wire.Type
+	n     int
+}
+
+func newBatchWriter(tp *fencedConn, ctrs *counters) *batchWriter {
+	size := transport.DefaultBatchSize
+	return &batchWriter{
+		tp:    tp,
+		ctrs:  ctrs,
+		ms:    make([]transport.Message, size),
+		bufs:  make([]*bufpool.Buf, size),
+		types: make([]wire.Type, size),
+	}
+}
+
+// add encodes m for to and queues it, flushing when the ring fills.
+// Reports whether the message was queued (encode failures are dropped,
+// matching the unbatched send path).
+func (w *batchWriter) add(m wire.Message, to net.Addr) bool {
+	buf := bufpool.Get()
+	data, err := m.Append(buf.B[:0])
+	if err != nil {
+		buf.Free()
+		return false
+	}
+	buf.B = data
+	w.bufs[w.n] = buf
+	w.types[w.n] = m.Type
+	w.ms[w.n].Data = data
+	w.ms[w.n].Addr = to
+	w.n++
+	if w.n == len(w.ms) {
+		w.flush()
+	}
+	return true
+}
+
+// flush writes every queued datagram in one transport batch, counts the
+// accepted ones per wire type, and recycles the encode buffers.
+func (w *batchWriter) flush() {
+	if w.n == 0 {
+		return
+	}
+	sent := w.tp.writeBatch(w.ms[:w.n])
+	for i := 0; i < sent; i++ {
+		w.ctrs.sent[w.types[i]].Add(1)
+	}
+	for i := 0; i < w.n; i++ {
+		w.bufs[i].Free()
+		w.bufs[i] = nil
+		w.ms[i].Data = nil
+		w.ms[i].Addr = nil
+	}
+	w.n = 0
+}

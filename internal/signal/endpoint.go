@@ -3,38 +3,53 @@ package signal
 import (
 	"net"
 	"sync"
+
+	"softstate/internal/transport"
 )
 
-// transport fences writes to a PacketConn against its closure. Writers
-// hold the read lock across WriteTo and close takes the write lock, so a
-// write never races or follows conn.Close — both endpoints share this one
-// implementation so the fence cannot drift between them.
-type transport struct {
-	conn   net.PacketConn
-	mu     sync.RWMutex // write-held only to close conn
+// fencedConn fences writes to a transport.Conn against its closure.
+// Writers hold the read lock across WriteTo/WriteBatch and close takes
+// the write lock, so a write never races or follows Close — both
+// endpoints share this one implementation so the fence cannot drift
+// between them.
+type fencedConn struct {
+	bc     transport.Conn
+	mu     sync.RWMutex // write-held only to close bc
 	closed bool
 }
 
 // write transmits data to to, reporting whether a live transport accepted
 // it (temporary timeouts count as sent, like a lossy link). Safe under
 // shard locks: the transport, not the state table, serializes writes.
-func (tp *transport) write(data []byte, to net.Addr) bool {
+func (tp *fencedConn) write(data []byte, to net.Addr) bool {
 	tp.mu.RLock()
 	defer tp.mu.RUnlock()
 	if tp.closed {
 		return false
 	}
-	_, err := tp.conn.WriteTo(data, to)
+	_, err := tp.bc.WriteTo(data, to)
 	return err == nil || isNetTemporary(err)
 }
 
+// writeBatch transmits every message in one transport batch (one syscall
+// on batching backends) and returns how many a live transport accepted.
+func (tp *fencedConn) writeBatch(ms []transport.Message) int {
+	tp.mu.RLock()
+	defer tp.mu.RUnlock()
+	if tp.closed {
+		return 0
+	}
+	n, _ := tp.bc.WriteBatch(ms)
+	return n
+}
+
 // close fences the transport shut and closes the conn, unblocking any
-// reader pending in ReadFrom.
-func (tp *transport) close() error {
+// reader pending in ReadFrom/ReadBatch.
+func (tp *fencedConn) close() error {
 	tp.mu.Lock()
 	defer tp.mu.Unlock()
 	tp.closed = true
-	return tp.conn.Close()
+	return tp.bc.Close()
 }
 
 // eventSink is the non-blocking observability stream, fenced so emitters

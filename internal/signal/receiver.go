@@ -12,6 +12,7 @@ import (
 	"softstate/internal/clock"
 	"softstate/internal/statetable"
 	"softstate/internal/telemetry"
+	"softstate/internal/transport"
 	"softstate/internal/variant"
 	"softstate/internal/wire"
 )
@@ -25,7 +26,7 @@ import (
 // state-timeout deadline, so one Receiver holds millions of keys with a
 // fixed number of goroutines. All methods are safe for concurrent use.
 type Receiver struct {
-	tp   transport
+	tp   fencedConn
 	cfg  Config
 	prof variant.Profile
 	clk  clock.Clock
@@ -45,10 +46,12 @@ type Receiver struct {
 	measure    bool
 
 	events     eventSink
-	acks       *ackBatcher // nil unless cfg.CoalesceAcks
-	flushTimer clock.Timer // ack flusher (virtual mode)
+	acks       *ackBatcher  // nil unless cfg.CoalesceAcks
+	ackBW      *batchWriter // flush datagram coalescer (guarded by ackMu)
+	ackMu      sync.Mutex   // serializes flushAcks
+	flushTimer clock.Timer  // ack flusher (virtual mode)
 	done       chan struct{}
-	wg         sync.WaitGroup // read loop
+	wg         sync.WaitGroup // read loops (one per transport lane)
 	flushWG    sync.WaitGroup // ack flusher; drained before the transport closes
 }
 
@@ -81,7 +84,7 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 	cfg = cfg.withDefaults()
 	clk := clock.Or(cfg.Clock)
 	r := &Receiver{
-		tp:     transport{conn: conn},
+		tp:     fencedConn{bc: transport.As(conn)},
 		cfg:    cfg,
 		prof:   *cfg.Variant,
 		clk:    clk,
@@ -101,6 +104,7 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 	r.registerMetrics()
 	if cfg.CoalesceAcks {
 		r.acks = newAckBatcher()
+		r.ackBW = newBatchWriter(&r.tp, &r.ctrs)
 		if r.det {
 			// Virtual mode: flushes are clock callbacks armed by the first
 			// ack of each batch window — no goroutine, no wall sleeps.
@@ -110,8 +114,14 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 			go r.flushLoop()
 		}
 	}
-	r.wg.Add(1)
-	go r.readLoop()
+	// One read loop per transport lane: sharded kernel-socket backends
+	// expose each SO_REUSEPORT socket as its own lane, so inbound fan-in
+	// drains in parallel without a demux goroutine in between.
+	lanes := transport.Fanout(r.tp.bc)
+	r.wg.Add(len(lanes))
+	for _, lane := range lanes {
+		go r.readLoop(lane)
+	}
 	return r, nil
 }
 
@@ -218,30 +228,39 @@ func (r *Receiver) Close() error {
 	return err
 }
 
-func (r *Receiver) readLoop() {
+// readLoop drains one transport lane in ReadBatch strides — up to a full
+// ring of datagrams per syscall on batching backends — and dispatches
+// each through the zero-alloc summary fast path or the generic decoder.
+func (r *Receiver) readLoop(c transport.Conn) {
 	defer r.wg.Done()
-	buf := make([]byte, 64*1024)
+	ms := transport.NewBatch(transport.DefaultBatchSize)
 	scratch := r.newSummaryScratch()
 	for {
-		n, from, err := r.tp.conn.ReadFrom(buf)
+		cnt, err := c.ReadBatch(ms)
 		if err != nil {
 			return
 		}
-		if wire.PeekType(buf[:n]) == wire.TypeSummaryRefresh {
-			// Summary refreshes are the steady-state hot path (one
-			// datagram renews up to SummaryMaxKeys keys); decode them in
-			// place instead of materializing a key-string slice per
-			// datagram.
-			r.handleSummaryFast(buf[:n], from, scratch)
-			continue
+		for i := 0; i < cnt; i++ {
+			r.dispatch(ms[i].Data, ms[i].Addr, scratch)
 		}
-		var m wire.Message
-		if derr := m.UnmarshalBinary(buf[:n]); derr != nil {
-			r.ctrs.decodeErrors.Add(1)
-			continue
-		}
-		r.handle(m, from)
 	}
+}
+
+// dispatch routes one raw datagram.
+func (r *Receiver) dispatch(data []byte, from net.Addr, scratch *summaryScratch) {
+	if wire.PeekType(data) == wire.TypeSummaryRefresh {
+		// Summary refreshes are the steady-state hot path (one datagram
+		// renews up to SummaryMaxKeys keys); decode them in place instead
+		// of materializing a key-string slice per datagram.
+		r.handleSummaryFast(data, from, scratch)
+		return
+	}
+	var m wire.Message
+	if derr := m.UnmarshalBinary(data); derr != nil {
+		r.ctrs.decodeErrors.Add(1)
+		return
+	}
+	r.handle(m, from)
 }
 
 // summaryScratch is the read loop's reusable state for in-place summary
@@ -510,13 +529,21 @@ func (r *Receiver) flushLoop() {
 	}
 }
 
-// flushAcks sends every pending coalesced acknowledgement.
+// flushAcks sends every pending coalesced acknowledgement. The per-peer
+// ack-batch datagrams of one flush ride the batch writer, so a fan-in
+// receiver answering many senders spends one write syscall per
+// WriteBatch-ful of peers, not one per peer.
 func (r *Receiver) flushAcks() {
 	pending := r.acks.take()
+	if len(pending) == 0 {
+		return
+	}
 	if r.det {
 		// Deterministic reply order for reproducible virtual runs.
 		sort.Slice(pending, func(i, j int) bool { return pending[i].addr < pending[j].addr })
 	}
+	r.ackMu.Lock()
+	defer r.ackMu.Unlock()
 	for _, pa := range pending {
 		items := pa.items
 		for len(items) > 0 {
@@ -525,11 +552,13 @@ func (r *Receiver) flushAcks() {
 				break // unreachable (ACKed keys arrived in a datagram);
 				// abandons only this peer's batch, never the whole flush
 			}
-			r.send(wire.Message{Type: wire.TypeAckBatch, Acks: items[:n]}, pa.to)
-			r.ctrs.coalescedAcks.Add(int64(n))
+			if r.ackBW.add(wire.Message{Type: wire.TypeAckBatch, Acks: items[:n]}, pa.to) {
+				r.ctrs.coalescedAcks.Add(int64(n))
+			}
 			items = items[n:]
 		}
 	}
+	r.ackBW.flush()
 }
 
 // send encodes m onto a pooled buffer and transmits it to to; the buffer

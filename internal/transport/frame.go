@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// Stream frame format — the length-prefixed datagram framing the TCP
+// backend speaks:
+//
+//	offset  size  field
+//	0       1     frame type (frameHello | frameData)
+//	1       4     payload length, big-endian (≤ maxFramePayload)
+//	5       L     payload
+//
+// frameHello carries the dialer's stable identity string and must be the
+// first frame on every connection; frameData carries one signaling
+// datagram, byte-identical to what the UDP backends would put on the
+// wire.
+const (
+	frameHello byte = 1
+	frameData  byte = 2
+
+	frameHeaderLen = 5
+	// maxFramePayload bounds one frame's payload; identical to
+	// MaxDatagram so a framed stream carries exactly what a UDP socket
+	// would.
+	maxFramePayload = MaxDatagram
+)
+
+var (
+	errFrameType   = errors.New("transport: unknown frame type")
+	errFrameLength = errors.New("transport: frame length out of range")
+)
+
+// appendFrame appends one encoded frame to dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// decodeFrame decodes the first frame in b, returning its payload (an
+// alias into b) and the remaining bytes. io.ErrShortBuffer means b holds
+// an incomplete frame (read more); other errors mean the stream is
+// corrupt and must be torn down.
+func decodeFrame(b []byte) (typ byte, payload, rest []byte, err error) {
+	if len(b) < frameHeaderLen {
+		return 0, nil, b, io.ErrShortBuffer
+	}
+	typ = b[0]
+	if typ != frameHello && typ != frameData {
+		return 0, nil, b, errFrameType
+	}
+	n := binary.BigEndian.Uint32(b[1:frameHeaderLen])
+	if n > maxFramePayload {
+		return 0, nil, b, errFrameLength
+	}
+	end := frameHeaderLen + int(n)
+	if len(b) < end {
+		return 0, nil, b, io.ErrShortBuffer
+	}
+	return typ, b[frameHeaderLen:end], b[end:], nil
+}
+
+// readFrame reads one frame from br into buf (which must hold
+// maxFramePayload bytes); the returned payload aliases buf.
+func readFrame(br *bufio.Reader, buf []byte) (typ byte, payload []byte, err error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ = hdr[0]
+	if typ != frameHello && typ != frameData {
+		return 0, nil, errFrameType
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if int(n) > len(buf) {
+		return 0, nil, errFrameLength
+	}
+	if _, err := io.ReadFull(br, buf[:n]); err != nil {
+		return 0, nil, err
+	}
+	return typ, buf[:n], nil
+}

@@ -1,0 +1,365 @@
+// Package transport is the kernel-socket layer of the signaling runtime:
+// batched datagram I/O the node and signal layers write into instead of a
+// raw net.PacketConn. A Conn moves many datagrams per syscall where the
+// platform allows it, and counts what it does — syscalls, datagrams,
+// batch-size distributions — so the paper's wire-cost metrics extend down
+// to the kernel crossing.
+//
+// Three backends share the Conn interface:
+//
+//   - udp-batch (ListenUDPBatch on linux/amd64 and linux/arm64): real
+//     sendmmsg/recvmmsg over one or more SO_REUSEPORT sockets, the
+//     production path. The x/net ipv4.PacketConn batch API would provide
+//     the same calls, but this repo builds hermetically with a zero-dep
+//     go.mod, so the two syscalls are bound directly.
+//   - plain (Wrap): any net.PacketConn — kernel UDP sockets on other
+//     platforms, and the in-memory lossy pipes the virtual-time harness
+//     runs on. One datagram per syscall, byte-identical WriteTo ordering,
+//     which is what keeps deterministic replays deterministic.
+//   - stream (NewStream): length-prefixed datagram framing over TCP for
+//     the reliable variants, with reconnect-and-resume semantics.
+//
+// All Conn implementations are safe for concurrent use.
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+
+	"softstate/internal/telemetry"
+)
+
+const (
+	// DefaultBatchSize is how many datagrams one ReadBatch/WriteBatch
+	// moves per syscall unless the caller sizes its rings otherwise. 32
+	// amortizes the ~1 µs kernel crossing to noise without holding more
+	// than half a megabyte of ring buffers per lane.
+	DefaultBatchSize = 32
+	// MaxDatagram bounds one datagram's encoded size. The wire codec's
+	// worst case (header + MaxKeyLen + MaxValueLen + trailer) is ≈8.7 KB,
+	// so 16 KB rings never truncate a legal datagram.
+	MaxDatagram = 16 << 10
+)
+
+// Message is one datagram slot in a batch ring. Buf is the caller-owned
+// backing storage a ReadBatch fills; Data is the filled region (aliasing
+// some slot's Buf) and stays valid only until the next ReadBatch on the
+// same ring. For writes the caller sets Data and Addr; Buf is ignored.
+type Message struct {
+	Buf  []byte
+	Data []byte
+	Addr net.Addr
+}
+
+// NewBatch allocates a ring of n message slots (DefaultBatchSize when
+// n <= 0), each backed by MaxDatagram bytes of one contiguous block.
+func NewBatch(n int) []Message {
+	if n <= 0 {
+		n = DefaultBatchSize
+	}
+	ms := make([]Message, n)
+	backing := make([]byte, n*MaxDatagram)
+	for i := range ms {
+		ms[i].Buf = backing[i*MaxDatagram : (i+1)*MaxDatagram : (i+1)*MaxDatagram]
+	}
+	return ms
+}
+
+// Conn is a net.PacketConn that can additionally move whole batches per
+// call. ReadBatch blocks until at least one datagram is available, fills
+// up to len(ms) slots, and returns the count; WriteBatch transmits every
+// message (retrying partial kernel completions) and returns how many the
+// transport accepted — per-message temporary failures count as accepted,
+// like a lossy link, while a hard transport error stops the batch.
+type Conn interface {
+	net.PacketConn
+	ReadBatch(ms []Message) (int, error)
+	WriteBatch(ms []Message) (int, error)
+	Stats() *Stats
+}
+
+// Multi is implemented by conns that multiplex several kernel sockets
+// (SO_REUSEPORT shards): each sub-conn is an independent read lane.
+type Multi interface {
+	Conns() []Conn
+}
+
+// Fanout returns c's independent read lanes: its sub-conns when c is a
+// Multi, else c itself. Run one read loop per lane.
+func Fanout(c Conn) []Conn {
+	if m, ok := c.(Multi); ok {
+		return m.Conns()
+	}
+	return []Conn{c}
+}
+
+// As returns pc itself when it is already a Conn, else Wrap(pc).
+func As(pc net.PacketConn) Conn {
+	if c, ok := pc.(Conn); ok {
+		return c
+	}
+	return Wrap(pc)
+}
+
+// Stats counts a conn's kernel-boundary activity. The fields are
+// value-embedded telemetry instruments, so reading them is free and a
+// metrics registry can expose them without a second set of increments.
+// Batch-size histograms observe datagram counts (1 unit = 1 datagram,
+// stored in the histogram's duration domain).
+type Stats struct {
+	ReadCalls      telemetry.Counter // read syscalls (or transport reads)
+	ReadDatagrams  telemetry.Counter // datagrams delivered to ReadBatch/ReadFrom
+	WriteCalls     telemetry.Counter // write syscalls (or transport writes)
+	WriteDatagrams telemetry.Counter // datagrams handed to the kernel
+	Truncated      telemetry.Counter // oversized inbound datagrams dropped
+	ReadBatchSize  telemetry.Histogram
+	WriteBatchSize telemetry.Histogram
+}
+
+func (s *Stats) observeRead(dgrams int64) {
+	s.ReadCalls.Add(1)
+	s.ReadDatagrams.Add(dgrams)
+	s.ReadBatchSize.Observe(time.Duration(dgrams))
+}
+
+func (s *Stats) observeWrite(dgrams int64) {
+	s.WriteCalls.Add(1)
+	s.WriteDatagrams.Add(dgrams)
+	s.WriteBatchSize.Observe(time.Duration(dgrams))
+}
+
+// DatagramsPerRead returns delivered datagrams per read syscall so far
+// (0 before the first read).
+func (s *Stats) DatagramsPerRead() float64 {
+	if c := s.ReadCalls.Value(); c > 0 {
+		return float64(s.ReadDatagrams.Value()) / float64(c)
+	}
+	return 0
+}
+
+// DatagramsPerWrite returns transmitted datagrams per write syscall so
+// far (0 before the first write).
+func (s *Stats) DatagramsPerWrite() float64 {
+	if c := s.WriteCalls.Value(); c > 0 {
+		return float64(s.WriteDatagrams.Value()) / float64(c)
+	}
+	return 0
+}
+
+// Register exposes the counters and batch-size histograms on reg under
+// the given constant labels. A nil registry is a no-op.
+func (s *Stats) Register(reg *telemetry.Registry, labels telemetry.Labels) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter(telemetry.Opts{
+		Name:   "softstate_transport_read_syscalls_total",
+		Help:   "Transport read syscalls (recvmmsg/recvfrom/stream reads).",
+		Labels: labels,
+	}, &s.ReadCalls)
+	reg.RegisterCounter(telemetry.Opts{
+		Name:   "softstate_transport_read_datagrams_total",
+		Help:   "Datagrams delivered by the transport read path.",
+		Labels: labels,
+	}, &s.ReadDatagrams)
+	reg.RegisterCounter(telemetry.Opts{
+		Name:   "softstate_transport_write_syscalls_total",
+		Help:   "Transport write syscalls (sendmmsg/sendto/stream flushes).",
+		Labels: labels,
+	}, &s.WriteCalls)
+	reg.RegisterCounter(telemetry.Opts{
+		Name:   "softstate_transport_write_datagrams_total",
+		Help:   "Datagrams handed to the transport write path.",
+		Labels: labels,
+	}, &s.WriteDatagrams)
+	reg.RegisterCounter(telemetry.Opts{
+		Name:   "softstate_transport_truncated_total",
+		Help:   "Oversized inbound datagrams dropped by the batch rings.",
+		Labels: labels,
+	}, &s.Truncated)
+	reg.RegisterHistogram(telemetry.Opts{
+		Name:   "softstate_transport_read_batch_datagrams",
+		Help:   "Datagrams per read syscall (batch-size distribution).",
+		Labels: labels,
+	}, &s.ReadBatchSize)
+	reg.RegisterHistogram(telemetry.Opts{
+		Name:   "softstate_transport_write_batch_datagrams",
+		Help:   "Datagrams per write syscall (batch-size distribution).",
+		Labels: labels,
+	}, &s.WriteBatchSize)
+}
+
+// writeChunks drives transmit until all n prepared messages are out:
+// transmit(off) sends some suffix starting at off and returns how many it
+// moved. Partial kernel completions (sendmmsg accepting fewer than asked)
+// resume where they stopped; a zero count without error stops the loop.
+func writeChunks(n int, transmit func(off int) (int, error)) (int, error) {
+	sent := 0
+	for sent < n {
+		cnt, err := transmit(sent)
+		if err != nil {
+			return sent, err
+		}
+		if cnt <= 0 {
+			break
+		}
+		sent += cnt
+	}
+	return sent, nil
+}
+
+// isTemporary mirrors the signal layer's lossy-link semantics: a timeout
+// counts as "sent and lost", not as a transport failure.
+func isTemporary(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+// wrapConn adapts any net.PacketConn to Conn: one datagram per call, with
+// syscall accounting. It preserves the exact WriteTo call order of the
+// batch it is handed, which is what keeps virtual-time runs over lossy
+// pipes byte-reproducible.
+type wrapConn struct {
+	net.PacketConn
+	st Stats
+}
+
+// Wrap adapts pc to the batch interface (pass-through batching: each slot
+// is one underlying ReadFrom/WriteTo).
+func Wrap(pc net.PacketConn) Conn { return &wrapConn{PacketConn: pc} }
+
+func (c *wrapConn) Stats() *Stats { return &c.st }
+
+func (c *wrapConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	n, addr, err := c.PacketConn.ReadFrom(p)
+	if err == nil {
+		c.st.observeRead(1)
+	}
+	return n, addr, err
+}
+
+func (c *wrapConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	n, err := c.PacketConn.WriteTo(p, addr)
+	if err == nil || isTemporary(err) {
+		c.st.observeWrite(1)
+	}
+	return n, err
+}
+
+func (c *wrapConn) ReadBatch(ms []Message) (int, error) {
+	if len(ms) == 0 {
+		return 0, nil
+	}
+	n, addr, err := c.ReadFrom(ms[0].Buf)
+	if err != nil {
+		return 0, err
+	}
+	ms[0].Data = ms[0].Buf[:n]
+	ms[0].Addr = addr
+	return 1, nil
+}
+
+func (c *wrapConn) WriteBatch(ms []Message) (int, error) {
+	for i := range ms {
+		if _, err := c.WriteTo(ms[i].Data, ms[i].Addr); err != nil && !isTemporary(err) {
+			return i, err
+		}
+	}
+	return len(ms), nil
+}
+
+// multiConn is N SO_REUSEPORT sockets behind one Conn: writes round-robin
+// across sockets (the kernel hashes inbound flows to sockets on its own),
+// reads on the combined conn use the first socket, and Conns exposes each
+// socket as its own read lane. All sockets share one Stats.
+type multiConn struct {
+	conns []Conn
+	st    *Stats
+	next  atomic.Uint32
+}
+
+func (m *multiConn) Conns() []Conn { return m.conns }
+func (m *multiConn) Stats() *Stats { return m.st }
+
+// pick rotates the write socket. Exact fairness is irrelevant; spreading
+// the send-buffer pressure is the point.
+func (m *multiConn) pick() Conn {
+	return m.conns[int(m.next.Add(1))%len(m.conns)]
+}
+
+func (m *multiConn) ReadFrom(p []byte) (int, net.Addr, error) { return m.conns[0].ReadFrom(p) }
+func (m *multiConn) ReadBatch(ms []Message) (int, error)      { return m.conns[0].ReadBatch(ms) }
+func (m *multiConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	return m.pick().WriteTo(p, addr)
+}
+func (m *multiConn) WriteBatch(ms []Message) (int, error) { return m.pick().WriteBatch(ms) }
+func (m *multiConn) LocalAddr() net.Addr                  { return m.conns[0].LocalAddr() }
+
+func (m *multiConn) Close() error {
+	var first error
+	for _, c := range m.conns {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (m *multiConn) SetDeadline(t time.Time) error {
+	var first error
+	for _, c := range m.conns {
+		if err := c.SetDeadline(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (m *multiConn) SetReadDeadline(t time.Time) error {
+	var first error
+	for _, c := range m.conns {
+		if err := c.SetReadDeadline(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (m *multiConn) SetWriteDeadline(t time.Time) error {
+	var first error
+	for _, c := range m.conns {
+		if err := c.SetWriteDeadline(t); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Options configure the kernel-socket backends.
+type Options struct {
+	// Sockets is the SO_REUSEPORT socket count for ListenUDPBatch
+	// (default 1). Each socket is an independent read lane; the kernel
+	// hashes inbound flows across them.
+	Sockets int
+	// BatchSize caps datagrams per sendmmsg/recvmmsg (default
+	// DefaultBatchSize).
+	BatchSize int
+	// RecvBuffer is the per-socket SO_RCVBUF request in bytes (default
+	// 4 MiB): a fan-in burst of a full summary sweep must not overflow
+	// the socket before the read loop drains it.
+	RecvBuffer int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sockets <= 0 {
+		o.Sockets = 1
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.RecvBuffer <= 0 {
+		o.RecvBuffer = 4 << 20
+	}
+	return o
+}

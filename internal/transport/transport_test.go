@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+func listenBatch(t *testing.T, o Options) Conn {
+	t.Helper()
+	c, err := ListenUDPBatch("127.0.0.1:0", o)
+	if err != nil {
+		t.Fatalf("ListenUDPBatch: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestUDPBatchRoundTrip pushes a full batch through WriteBatch and drains
+// it with ReadBatch, checking payloads, source addresses, and that the
+// syscall counters actually show batching (fewer calls than datagrams).
+func TestUDPBatchRoundTrip(t *testing.T) {
+	rx := listenBatch(t, Options{})
+	tx := listenBatch(t, Options{})
+	to := rx.LocalAddr().(*net.UDPAddr)
+
+	const n = 16
+	out := NewBatch(n)
+	for i := range out {
+		out[i].Data = append(out[i].Buf[:0], []byte(fmt.Sprintf("datagram-%02d", i))...)
+		out[i].Addr = to
+	}
+	if sent, err := tx.WriteBatch(out); err != nil || sent != n {
+		t.Fatalf("WriteBatch = %d, %v; want %d, nil", sent, err, n)
+	}
+
+	in := NewBatch(n)
+	got := make(map[string]bool)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < n {
+		rx.SetReadDeadline(deadline)
+		cnt, err := rx.ReadBatch(in)
+		if err != nil {
+			t.Fatalf("ReadBatch: %v (got %d/%d)", err, len(got), n)
+		}
+		for i := 0; i < cnt; i++ {
+			got[string(in[i].Data)] = true
+			if ua, ok := in[i].Addr.(*net.UDPAddr); !ok || ua.Port != tx.LocalAddr().(*net.UDPAddr).Port {
+				t.Fatalf("datagram %d from %v, want port %d", i, in[i].Addr, tx.LocalAddr().(*net.UDPAddr).Port)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !got[fmt.Sprintf("datagram-%02d", i)] {
+			t.Fatalf("missing datagram %d; got %v", i, got)
+		}
+	}
+
+	ts, rs := tx.Stats(), rx.Stats()
+	if ts.WriteDatagrams.Value() != n {
+		t.Fatalf("WriteDatagrams = %d, want %d", ts.WriteDatagrams.Value(), n)
+	}
+	if ts.WriteCalls.Value() >= n {
+		t.Fatalf("WriteCalls = %d: sendmmsg did not batch %d datagrams", ts.WriteCalls.Value(), n)
+	}
+	if rs.ReadDatagrams.Value() != n {
+		t.Fatalf("ReadDatagrams = %d, want %d", rs.ReadDatagrams.Value(), n)
+	}
+	if got := ts.DatagramsPerWrite(); got < 2 {
+		t.Fatalf("DatagramsPerWrite = %v, want >= 2", got)
+	}
+}
+
+// TestUDPBatchTruncated feeds the ring a datagram larger than its slot
+// buffers: it must be counted, dropped, and not block delivery of the
+// intact datagram behind it.
+func TestUDPBatchTruncated(t *testing.T) {
+	rx := listenBatch(t, Options{})
+	tx, err := net.Dial("udp", rx.LocalAddr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer tx.Close()
+
+	big := make([]byte, 512)
+	if _, err := tx.Write(big); err != nil {
+		t.Fatalf("write big: %v", err)
+	}
+	if _, err := tx.Write([]byte("small")); err != nil {
+		t.Fatalf("write small: %v", err)
+	}
+
+	// Slots too small for the 512-byte datagram.
+	ms := make([]Message, 4)
+	for i := range ms {
+		ms[i].Buf = make([]byte, 64)
+	}
+	rx.SetReadDeadline(time.Now().Add(5 * time.Second))
+	cnt, err := rx.ReadBatch(ms)
+	if err != nil {
+		t.Fatalf("ReadBatch: %v", err)
+	}
+	if cnt != 1 || string(ms[0].Data) != "small" {
+		t.Fatalf("ReadBatch = %d (%q), want 1 (\"small\")", cnt, ms[0].Data)
+	}
+	if got := rx.Stats().Truncated.Value(); got != 1 {
+		t.Fatalf("Truncated = %d, want 1", got)
+	}
+}
+
+// TestUDPBatchMultiSocket checks SO_REUSEPORT sharding: every datagram
+// sent at the shared port is delivered by exactly one of the fan-out
+// lanes, and the lanes share one Stats.
+func TestUDPBatchMultiSocket(t *testing.T) {
+	rx := listenBatch(t, Options{Sockets: 4})
+	lanes := Fanout(rx)
+	if len(lanes) != 4 {
+		t.Fatalf("Fanout lanes = %d, want 4", len(lanes))
+	}
+	for _, l := range lanes {
+		if l.Stats() != rx.Stats() {
+			t.Fatal("lanes must share the combined conn's Stats")
+		}
+	}
+
+	const n = 64
+	got := make(chan string, n)
+	for _, l := range lanes {
+		go func(c Conn) {
+			ms := NewBatch(8)
+			for {
+				cnt, err := c.ReadBatch(ms)
+				if err != nil {
+					return
+				}
+				for i := 0; i < cnt; i++ {
+					got <- string(ms[i].Data)
+				}
+			}
+		}(l)
+	}
+
+	// Distinct source sockets so the kernel's flow hash can spread load.
+	for i := 0; i < n; i++ {
+		c, err := net.Dial("udp", rx.LocalAddr().String())
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		if _, err := fmt.Fprintf(c, "m-%02d", i); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		c.Close()
+	}
+
+	seen := make(map[string]bool)
+	timeout := time.After(5 * time.Second)
+	for len(seen) < n {
+		select {
+		case s := <-got:
+			seen[s] = true
+		case <-timeout:
+			t.Fatalf("received %d/%d datagrams", len(seen), n)
+		}
+	}
+}
+
+// TestUDPBatchPlainPathCounts checks the single-datagram surface shares
+// the batch path's accounting.
+func TestUDPBatchPlainPathCounts(t *testing.T) {
+	rx := listenBatch(t, Options{})
+	tx := listenBatch(t, Options{})
+	if _, err := tx.WriteTo([]byte("one"), rx.LocalAddr()); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	buf := make([]byte, 64)
+	rx.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n, _, err := rx.ReadFrom(buf)
+	if err != nil || string(buf[:n]) != "one" {
+		t.Fatalf("ReadFrom = %q, %v", buf[:n], err)
+	}
+	if tx.Stats().WriteCalls.Value() != 1 || tx.Stats().WriteDatagrams.Value() != 1 {
+		t.Fatalf("plain WriteTo counted %d calls / %d datagrams, want 1/1",
+			tx.Stats().WriteCalls.Value(), tx.Stats().WriteDatagrams.Value())
+	}
+	if rx.Stats().ReadCalls.Value() != 1 || rx.Stats().ReadDatagrams.Value() != 1 {
+		t.Fatalf("plain ReadFrom counted %d calls / %d datagrams, want 1/1",
+			rx.Stats().ReadCalls.Value(), rx.Stats().ReadDatagrams.Value())
+	}
+}
+
+// TestWriteChunksPartial drives the partial-completion loop with a
+// transmit stub that accepts a few messages at a time, errors mid-way, or
+// stalls, checking offsets resume exactly where the kernel stopped.
+func TestWriteChunksPartial(t *testing.T) {
+	var offs []int
+	sent, err := writeChunks(10, func(off int) (int, error) {
+		offs = append(offs, off)
+		if off < 7 {
+			return 3, nil
+		}
+		return 10 - off, nil
+	})
+	if sent != 10 || err != nil {
+		t.Fatalf("writeChunks = %d, %v; want 10, nil", sent, err)
+	}
+	want := []int{0, 3, 6, 9}
+	if len(offs) != len(want) {
+		t.Fatalf("offsets = %v, want %v", offs, want)
+	}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offsets = %v, want %v", offs, want)
+		}
+	}
+
+	boom := errors.New("boom")
+	sent, err = writeChunks(10, func(off int) (int, error) {
+		if off >= 4 {
+			return 0, boom
+		}
+		return 2, nil
+	})
+	if sent != 4 || !errors.Is(err, boom) {
+		t.Fatalf("writeChunks = %d, %v; want 4, boom", sent, err)
+	}
+
+	// A zero count without error must stop, not spin.
+	sent, err = writeChunks(5, func(off int) (int, error) { return 0, nil })
+	if sent != 0 || err != nil {
+		t.Fatalf("writeChunks stall = %d, %v; want 0, nil", sent, err)
+	}
+}
+
+// TestWrapBatch checks the pass-through batcher: per-slot WriteTo order
+// and one-datagram reads.
+func TestWrapBatch(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	rx := Wrap(pc)
+	defer rx.Close()
+	pc2, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	tx := Wrap(pc2)
+	defer tx.Close()
+
+	out := NewBatch(3)
+	for i := range out {
+		out[i].Data = append(out[i].Buf[:0], byte('a'+i))
+		out[i].Addr = rx.LocalAddr()
+	}
+	if sent, err := tx.WriteBatch(out); err != nil || sent != 3 {
+		t.Fatalf("WriteBatch = %d, %v", sent, err)
+	}
+	if tx.Stats().WriteCalls.Value() != 3 {
+		t.Fatalf("wrap WriteCalls = %d, want 3 (one per datagram)", tx.Stats().WriteCalls.Value())
+	}
+	in := NewBatch(3)
+	rx.SetReadDeadline(time.Now().Add(5 * time.Second))
+	cnt, err := rx.ReadBatch(in)
+	if err != nil || cnt != 1 {
+		t.Fatalf("wrap ReadBatch = %d, %v; want 1 datagram per call", cnt, err)
+	}
+}

@@ -1,0 +1,407 @@
+//go:build linux && (amd64 || arm64)
+
+package transport
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// soReusePort is SO_REUSEPORT; the frozen syscall package predates the
+// constant on linux.
+const soReusePort = 0xf
+
+// ListenUDPBatch binds o.Sockets SO_REUSEPORT UDP sockets on addr and
+// returns a Conn whose ReadBatch/WriteBatch are real recvmmsg/sendmmsg
+// calls — up to o.BatchSize datagrams per kernel crossing. With several
+// sockets the kernel hashes inbound flows across them; Fanout exposes
+// each as an independent read lane.
+func ListenUDPBatch(addr string, o Options) (Conn, error) {
+	o = o.withDefaults()
+	st := &Stats{}
+	lc := net.ListenConfig{
+		Control: func(_, _ string, c syscall.RawConn) error {
+			var serr error
+			err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			})
+			if err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	conns := make([]Conn, 0, o.Sockets)
+	closeAll := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	bound := addr
+	for i := 0; i < o.Sockets; i++ {
+		pc, err := lc.ListenPacket(context.Background(), "udp", bound)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		uc := pc.(*net.UDPConn)
+		uc.SetReadBuffer(o.RecvBuffer)
+		bc, err := newBatchConn(uc, o, st)
+		if err != nil {
+			uc.Close()
+			closeAll()
+			return nil, err
+		}
+		conns = append(conns, bc)
+		// Later sockets must land on the first socket's port even when
+		// addr asked the kernel for port 0.
+		bound = uc.LocalAddr().String()
+	}
+	if len(conns) == 1 {
+		return conns[0], nil
+	}
+	return &multiConn{conns: conns, st: st}, nil
+}
+
+// mmsghdr mirrors struct mmsghdr: one msghdr plus the kernel-written
+// datagram length (padded to the msghdr alignment).
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// batchConn is one kernel UDP socket driven through recvmmsg/sendmmsg on
+// its raw fd, parked on the runtime netpoller between batches. The rings
+// (headers, iovecs, sockaddr storage) are allocated once; a steady-state
+// batch only rewrites iovec base pointers.
+type batchConn struct {
+	uc *net.UDPConn
+	rc syscall.RawConn
+	st *Stats
+
+	rmu sync.Mutex // serializes ReadBatch and guards rr
+	wmu sync.Mutex // serializes WriteBatch and guards wr
+	rr  *mmsgRing
+	wr  *mmsgRing
+}
+
+func newBatchConn(uc *net.UDPConn, o Options, st *Stats) (*batchConn, error) {
+	rc, err := uc.SyscallConn()
+	if err != nil {
+		return nil, err
+	}
+	return &batchConn{
+		uc: uc, rc: rc, st: st,
+		rr: newMmsgRing(o.BatchSize),
+		wr: newMmsgRing(o.BatchSize),
+	}, nil
+}
+
+func (c *batchConn) Stats() *Stats { return c.st }
+
+// ReadBatch blocks until the socket is readable, then drains up to
+// len(ms) datagrams in one recvmmsg. Truncated datagrams (larger than the
+// slot's Buf) are counted and dropped; the call loops until at least one
+// intact datagram is delivered.
+func (c *batchConn) ReadBatch(ms []Message) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	n := len(ms)
+	if n > len(c.rr.hs) {
+		n = len(c.rr.hs)
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	for {
+		for i := 0; i < n; i++ {
+			c.rr.prepareRead(i, ms[i].Buf)
+		}
+		cnt, err := c.rawRecv(c.rr.hs[:n])
+		if err != nil {
+			return 0, err
+		}
+		out := 0
+		for i := 0; i < cnt; i++ {
+			h := &c.rr.hs[i]
+			if h.hdr.Flags&syscall.MSG_TRUNC != 0 {
+				c.st.Truncated.Add(1)
+				continue
+			}
+			addr := c.rr.cache.lookup(c.rr.sas[i][:h.hdr.Namelen])
+			if addr == nil {
+				continue
+			}
+			// Data may alias a skipped slot's Buf; it stays valid until
+			// the next ReadBatch rewrites the ring, per the contract.
+			ms[out].Data = ms[i].Buf[:h.n]
+			ms[out].Addr = addr
+			out++
+		}
+		if out > 0 {
+			c.st.observeRead(int64(out))
+			return out, nil
+		}
+	}
+}
+
+func (c *batchConn) rawRecv(hs []mmsghdr) (int, error) {
+	for {
+		var cnt int
+		var errno syscall.Errno
+		err := c.rc.Read(func(fd uintptr) bool {
+			cnt, errno = recvmmsg(fd, hs, syscall.MSG_DONTWAIT)
+			return errno != syscall.EAGAIN
+		})
+		if err != nil {
+			return 0, err
+		}
+		switch errno {
+		case 0:
+			return cnt, nil
+		case syscall.EINTR:
+			continue
+		default:
+			return 0, os.NewSyscallError("recvmmsg", errno)
+		}
+	}
+}
+
+// WriteBatch transmits every message via sendmmsg, retrying partial
+// kernel completions until the whole batch is out. Messages whose Addr is
+// not a *net.UDPAddr fall back to one WriteTo each.
+func (c *batchConn) WriteBatch(ms []Message) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	written := 0
+	for written < len(ms) {
+		chunk := ms[written:]
+		limit := len(c.wr.hs)
+		if len(chunk) < limit {
+			limit = len(chunk)
+		}
+		prep := 0
+		for prep < limit && c.wr.prepareWrite(prep, &chunk[prep]) {
+			prep++
+		}
+		if prep == 0 {
+			// Exotic addr type or empty payload: single-datagram path.
+			if _, err := c.uc.WriteTo(chunk[0].Data, chunk[0].Addr); err != nil && !isTemporary(err) {
+				return written, err
+			}
+			c.st.observeWrite(1)
+			written++
+			continue
+		}
+		sent, err := writeChunks(prep, func(off int) (int, error) {
+			cnt, serr := c.rawSend(c.wr.hs[off:prep])
+			if serr == nil && cnt > 0 {
+				c.st.observeWrite(int64(cnt))
+			}
+			return cnt, serr
+		})
+		written += sent
+		if err != nil {
+			return written, err
+		}
+		if sent < prep {
+			return written, nil // kernel made no progress; unreachable in practice
+		}
+	}
+	return written, nil
+}
+
+func (c *batchConn) rawSend(hs []mmsghdr) (int, error) {
+	for {
+		var cnt int
+		var errno syscall.Errno
+		err := c.rc.Write(func(fd uintptr) bool {
+			cnt, errno = sendmmsg(fd, hs, syscall.MSG_DONTWAIT)
+			return errno != syscall.EAGAIN
+		})
+		if err != nil {
+			return 0, err
+		}
+		switch errno {
+		case 0:
+			return cnt, nil
+		case syscall.EINTR:
+			continue
+		default:
+			return 0, os.NewSyscallError("sendmmsg", errno)
+		}
+	}
+}
+
+// Single-datagram net.PacketConn surface, counted like one-message
+// batches so plain and batched paths share one accounting.
+
+func (c *batchConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	n, addr, err := c.uc.ReadFrom(p)
+	if err == nil {
+		c.st.observeRead(1)
+	}
+	return n, addr, err
+}
+
+func (c *batchConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	n, err := c.uc.WriteTo(p, addr)
+	if err == nil || isTemporary(err) {
+		c.st.observeWrite(1)
+	}
+	return n, err
+}
+
+func (c *batchConn) Close() error                      { return c.uc.Close() }
+func (c *batchConn) LocalAddr() net.Addr               { return c.uc.LocalAddr() }
+func (c *batchConn) SetDeadline(t time.Time) error     { return c.uc.SetDeadline(t) }
+func (c *batchConn) SetReadDeadline(t time.Time) error { return c.uc.SetReadDeadline(t) }
+func (c *batchConn) SetWriteDeadline(t time.Time) error {
+	return c.uc.SetWriteDeadline(t)
+}
+
+// mmsgRing is one direction's preallocated syscall scaffolding: headers,
+// one iovec per slot, and sockaddr storage the kernel reads (sends) or
+// writes (receives).
+type mmsgRing struct {
+	hs    []mmsghdr
+	iovs  []syscall.Iovec
+	sas   [][syscall.SizeofSockaddrAny]byte
+	cache addrCache
+}
+
+func newMmsgRing(n int) *mmsgRing {
+	r := &mmsgRing{
+		hs:   make([]mmsghdr, n),
+		iovs: make([]syscall.Iovec, n),
+		sas:  make([][syscall.SizeofSockaddrAny]byte, n),
+	}
+	for i := range r.hs {
+		r.hs[i].hdr.Iov = &r.iovs[i]
+		// Iovlen is uint64 on both tagged architectures; the frozen
+		// syscall package has no SetIovlen.
+		r.hs[i].hdr.Iovlen = 1
+		r.hs[i].hdr.Name = &r.sas[i][0]
+	}
+	return r
+}
+
+func (r *mmsgRing) prepareRead(i int, buf []byte) {
+	r.iovs[i].Base = &buf[0]
+	r.iovs[i].SetLen(len(buf))
+	r.hs[i].hdr.Namelen = syscall.SizeofSockaddrAny
+	r.hs[i].hdr.Flags = 0
+	r.hs[i].n = 0
+}
+
+// prepareWrite points slot i at m, reporting false for addresses the raw
+// path cannot encode (the caller falls back to WriteTo).
+func (r *mmsgRing) prepareWrite(i int, m *Message) bool {
+	ua, ok := m.Addr.(*net.UDPAddr)
+	if !ok || len(m.Data) == 0 {
+		return false
+	}
+	salen := encodeSockaddr(&r.sas[i], ua)
+	if salen == 0 {
+		return false
+	}
+	r.iovs[i].Base = &m.Data[0]
+	r.iovs[i].SetLen(len(m.Data))
+	r.hs[i].hdr.Namelen = salen
+	r.hs[i].hdr.Flags = 0
+	r.hs[i].n = 0
+	return true
+}
+
+func recvmmsg(fd uintptr, hs []mmsghdr, flags int) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+		uintptr(unsafe.Pointer(&hs[0])), uintptr(len(hs)), uintptr(flags), 0, 0)
+	return int(n), e
+}
+
+func sendmmsg(fd uintptr, hs []mmsghdr, flags int) (int, syscall.Errno) {
+	n, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+		uintptr(unsafe.Pointer(&hs[0])), uintptr(len(hs)), uintptr(flags), 0, 0)
+	return int(n), e
+}
+
+// addrCache remembers the last decoded source sockaddr: fan-in from one
+// hot peer (a receiver's single upstream node, a burst from one sender)
+// resolves to the same *net.UDPAddr without allocating per datagram.
+// Handed-out addresses are never mutated, so aliasing them is safe.
+type addrCache struct {
+	sa   [syscall.SizeofSockaddrAny]byte
+	n    int
+	addr *net.UDPAddr
+}
+
+func (ac *addrCache) lookup(sa []byte) *net.UDPAddr {
+	if ac.addr != nil && ac.n == len(sa) && bytes.Equal(ac.sa[:ac.n], sa) {
+		return ac.addr
+	}
+	a := decodeSockaddr(sa)
+	if a == nil {
+		return nil
+	}
+	ac.n = copy(ac.sa[:], sa)
+	ac.addr = a
+	return a
+}
+
+// decodeSockaddr converts a raw kernel sockaddr to a *net.UDPAddr. The
+// family field is native-endian; both tagged architectures are
+// little-endian. IPv6 zone indices are dropped (link-local scoping is out
+// of scope for this runtime).
+func decodeSockaddr(b []byte) *net.UDPAddr {
+	if len(b) < syscall.SizeofSockaddrInet4 {
+		return nil
+	}
+	switch uint16(b[0]) | uint16(b[1])<<8 {
+	case syscall.AF_INET:
+		ip := make(net.IP, 4)
+		copy(ip, b[4:8])
+		return &net.UDPAddr{IP: ip, Port: int(b[2])<<8 | int(b[3])}
+	case syscall.AF_INET6:
+		if len(b) < syscall.SizeofSockaddrInet6 {
+			return nil
+		}
+		ip := make(net.IP, 16)
+		copy(ip, b[8:24])
+		return &net.UDPAddr{IP: ip, Port: int(b[2])<<8 | int(b[3])}
+	}
+	return nil
+}
+
+// encodeSockaddr writes a's raw sockaddr into sa, returning its length
+// (0 when a cannot be encoded). Ports are network byte order.
+func encodeSockaddr(sa *[syscall.SizeofSockaddrAny]byte, a *net.UDPAddr) uint32 {
+	if ip4 := a.IP.To4(); ip4 != nil {
+		for i := 0; i < syscall.SizeofSockaddrInet4; i++ {
+			sa[i] = 0
+		}
+		sa[0] = syscall.AF_INET
+		sa[2] = byte(a.Port >> 8)
+		sa[3] = byte(a.Port)
+		copy(sa[4:8], ip4)
+		return syscall.SizeofSockaddrInet4
+	}
+	ip6 := a.IP.To16()
+	if ip6 == nil {
+		return 0
+	}
+	for i := 0; i < syscall.SizeofSockaddrInet6; i++ {
+		sa[i] = 0
+	}
+	sa[0] = syscall.AF_INET6
+	sa[2] = byte(a.Port >> 8)
+	sa[3] = byte(a.Port)
+	copy(sa[8:24], ip6)
+	return syscall.SizeofSockaddrInet6
+}

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package transport
+
+// mmsg syscall numbers for linux/amd64. The frozen syscall package
+// carries SYS_RECVMMSG but predates sendmmsg, so both are pinned here.
+const (
+	sysRECVMMSG = 299
+	sysSENDMMSG = 307
+)

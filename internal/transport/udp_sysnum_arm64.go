@@ -1,0 +1,9 @@
+//go:build linux && arm64
+
+package transport
+
+// mmsg syscall numbers for linux/arm64 (asm-generic table).
+const (
+	sysRECVMMSG = 243
+	sysSENDMMSG = 269
+)
