@@ -1,0 +1,107 @@
+package main
+
+// The -debug surface: a live invariant audit over the running endpoint.
+// Each mode installs its endpoint's CheckInvariants closure; SIGUSR2 runs
+// an audit and prints the verdict to stderr, and — when -metrics-addr is
+// also set — GET /debug/invariants serves the same audit over HTTP (one
+// violation per line, 500 on violations so probes can alert on status
+// alone). The checks are the same ones the chaos engine runs after every
+// fuzzed mutation, so a production endpoint can be audited with the
+// exact predicate the adversarial tests enforce.
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+)
+
+// debugOn records whether -debug was given; without it installAudit is a
+// no-op and /debug/invariants reports the surface as uninstalled.
+var debugOn bool
+
+// audit holds the active endpoint's invariant checker; nil until a mode
+// installs one (only under -debug).
+var audit atomic.Pointer[func() []string]
+
+// installAudit publishes the endpoint's invariant checker. Mode functions
+// call it once the endpoint exists; combined endpoints (relay, demo) pass
+// a closure concatenating each component's violations.
+func installAudit(fn func() []string) {
+	if debugOn && fn != nil {
+		audit.Store(&fn)
+	}
+}
+
+// runAudit executes the installed checker. ok is false when no endpoint
+// has published one yet.
+func runAudit() (violations []string, ok bool) {
+	f := audit.Load()
+	if f == nil {
+		return nil, false
+	}
+	return (*f)(), true
+}
+
+// startDebug arms the SIGUSR2 audit trigger.
+func startDebug() {
+	usr2 := make(chan os.Signal, 1)
+	signal.Notify(usr2, syscall.SIGUSR2)
+	go func() {
+		for range usr2 {
+			v, ok := runAudit()
+			switch {
+			case !ok:
+				fmt.Fprintln(os.Stderr, "signald: invariant audit: no endpoint installed yet")
+			case len(v) == 0:
+				fmt.Fprintln(os.Stderr, "signald: invariant audit: all invariants hold")
+			default:
+				fmt.Fprintf(os.Stderr, "signald: invariant audit: %d violation(s)\n", len(v))
+				for _, s := range v {
+					fmt.Fprintln(os.Stderr, "  ", s)
+				}
+			}
+		}
+	}()
+}
+
+// debugInvariantsHandler serves the audit at /debug/invariants on the
+// metrics mux.
+func debugInvariantsHandler(w http.ResponseWriter, _ *http.Request) {
+	v, ok := runAudit()
+	switch {
+	case !ok:
+		http.Error(w, "no invariant surface installed (run signald with -debug)", http.StatusServiceUnavailable)
+	case len(v) == 0:
+		fmt.Fprintln(w, "ok: all invariants hold")
+	default:
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "%d violation(s)\n", len(v))
+		for _, s := range v {
+			fmt.Fprintln(w, s)
+		}
+	}
+}
+
+// auditPart names one component's checker inside a combined audit.
+type auditPart struct {
+	name  string
+	check func() []string
+}
+
+// combineAudits merges several endpoints' checkers into one, prefixing
+// each violation with its component name. Parts run in the given order so
+// audit output is stable.
+func combineAudits(parts ...auditPart) func() []string {
+	return func() []string {
+		var out []string
+		for _, p := range parts {
+			for _, v := range p.check() {
+				out = append(out, p.name+": "+v)
+			}
+		}
+		return out
+	}
+}

@@ -90,6 +90,9 @@ func main() {
 			"serve live metrics on this address: /metrics (Prometheus text, including the paper's "+
 				"inconsistency and datagrams/key/s gauges), /metrics.json, /debug/vars, /debug/pprof/; "+
 				"SIGUSR1 dumps a snapshot to stderr")
+		debugFlag = flag.Bool("debug", false,
+			"expose the live invariant audit: SIGUSR2 prints a CheckInvariants verdict to stderr, "+
+				"and with -metrics-addr the same audit is served at /debug/invariants")
 	)
 	flag.Parse()
 
@@ -116,6 +119,10 @@ func main() {
 		SummaryMaxKeys:  *summaryKeys,
 		CoalesceAcks:    *coalesce,
 		PeerIdleTimeout: *peerIdle,
+	}
+	if *debugFlag {
+		debugOn = true
+		startDebug()
 	}
 	if *metricsAddr != "" {
 		t, terr := startTelemetry(*metricsAddr)
@@ -187,6 +194,7 @@ func serve(addr string, cfg sig.Config) error {
 		return err
 	}
 	defer rcv.Close()
+	installAudit(rcv.CheckInvariants)
 	tele.setSent(func() int64 { return rcv.SentDatagrams() + rcv.ReceivedDatagrams() })
 	fmt.Printf("signald: %v receiver on %v (T=%v); Ctrl-C to stop\n",
 		cfg.Protocol, conn.LocalAddr(), cfg.Timeout)
@@ -224,6 +232,7 @@ func send(peerAddr string, cfg sig.Config, key string, value []byte, hold time.D
 		return err
 	}
 	defer snd.Close()
+	installAudit(snd.CheckInvariants)
 	tele.setSent(func() int64 { return snd.SentDatagrams() + snd.ReceivedDatagrams() })
 	go logEvents("sender", snd.Events())
 
@@ -281,6 +290,7 @@ func relay(addr, nextHop string, cfg sig.Config) error {
 		return err
 	}
 	defer rly.Close()
+	installAudit(rly.CheckInvariants)
 	tele.setSent(func() int64 {
 		rc := rly.Receiver()
 		dn := rly.Downstream()
@@ -331,6 +341,7 @@ func fanout(peerList []string, cfg sig.Config, key string, value []byte, count i
 		return err
 	}
 	defer n.Close()
+	installAudit(n.CheckInvariants)
 	tele.setSent(func() int64 { return n.SentDatagrams() + n.ReceivedDatagrams() })
 	go logEvents("node", n.Events())
 
@@ -394,6 +405,10 @@ func demo(cfg sig.Config, loss float64) error {
 	}
 	defer rcv.Close()
 	defer snd.Close()
+	installAudit(combineAudits(
+		auditPart{"sender", snd.CheckInvariants},
+		auditPart{"receiver", rcv.CheckInvariants},
+	))
 	tele.setSent(func() int64 { return snd.SentDatagrams() + snd.ReceivedDatagrams() })
 	go logEvents("sender  ", snd.Events())
 	go logEvents("receiver", rcv.Events())

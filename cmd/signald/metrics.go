@@ -36,7 +36,10 @@ func startTelemetry(addr string) (*telem, error) {
 		return nil, fmt.Errorf("metrics listener: %w", err)
 	}
 	t := &telem{reg: reg, ln: ln}
-	t.srv = &http.Server{Handler: telemetry.NewMux(reg)}
+	mux := http.NewServeMux()
+	mux.Handle("/", telemetry.NewMux(reg))
+	mux.HandleFunc("/debug/invariants", debugInvariantsHandler)
+	t.srv = &http.Server{Handler: mux}
 	go t.srv.Serve(ln)
 
 	usr1 := make(chan os.Signal, 1)

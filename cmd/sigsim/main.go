@@ -8,12 +8,20 @@
 //	sigsim -proto HS -analytic-only
 //	sigsim -multihop -proto SS+RT -hops 12 -horizon 20000
 //	sigsim -live -proto all -loss 0.15
+//	sigsim -chaos -proto all -seed 42 -episodes 4
 //
 // The -live mode leaves the abstract state machines behind entirely: it
 // runs the requested protocols on the real wire stack (signal.Sender /
 // signal.Receiver over a lossy pipe, retransmission backoff, hard-state
 // orphan probes) under a virtual clock — the paper's five-way comparison
 // on production code, deterministic per seed.
+//
+// The -chaos mode expands -seed into a failure campaign (crash/restart
+// episodes, partition-and-heal windows, loss bursts) and replays it
+// against the live multi-hop runtime, printing the generated timeline,
+// time-to-reconverge, inconsistency under partition, and any invariant
+// violations. The seed is the whole reproduction recipe: re-running with
+// the same seed replays the campaign byte-identically.
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"softstate/internal/chaos"
 	"softstate/internal/core"
 	"softstate/internal/sim"
 	"softstate/internal/variant"
@@ -44,6 +53,9 @@ func main() {
 		anaOnly   = flag.Bool("analytic-only", false, "skip simulation")
 		multihop  = flag.Bool("multihop", false, "run the multi-hop study instead of single-hop")
 		live      = flag.Bool("live", false, "run the real wire stack in virtual time instead of the abstract simulator")
+		chaosRun  = flag.Bool("chaos", false, "expand -seed into a failure campaign and replay it on the live stack")
+		episodes  = flag.Int("episodes", 4, "failure episodes to generate (chaos)")
+		coldRst   = flag.Bool("cold-restarts", false, "admit receiver/relay cold-restart episodes (chaos; hard state cannot recover from these)")
 		liveKeys  = flag.Int("live-keys", 24, "concurrently signaled keys (live)")
 		liveDur   = flag.Duration("live-duration", 60*time.Second, "virtual experiment length (live)")
 		hops      = flag.Int("hops", 20, "path length N (multi-hop)")
@@ -52,6 +64,14 @@ func main() {
 		alpha     = flag.Float64("alpha", 10, "inconsistency cost weight α for C = α·I + Λ")
 	)
 	flag.Parse()
+
+	if *chaosRun {
+		if err := runChaos(*protoName, *seed, *episodes, *loss, *coldRst); err != nil {
+			fmt.Fprintln(os.Stderr, "sigsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *live {
 		if err := runLive(*protoName, *liveKeys, *loss, *delay, *hops, *liveDur, *seed, *multihop); err != nil {
@@ -99,6 +119,46 @@ func main() {
 		p.Retransmit = *retx
 	}
 	runSinglehop(protos, p, *anaOnly, *sessions, *seed, kind, *alpha)
+}
+
+// runChaos expands the seed into a fault timeline and replays it against
+// every requested protocol on the live multi-hop runtime. The printed
+// schedule plus the seed fully reproduce the run.
+func runChaos(protoName string, seed uint64, episodes int, loss float64, coldRestarts bool) error {
+	var profiles []variant.Profile
+	if strings.EqualFold(protoName, "all") {
+		profiles = variant.All()
+	} else {
+		prof, err := variant.Parse(protoName)
+		if err != nil {
+			return err
+		}
+		profiles = []variant.Profile{prof}
+	}
+	opts := chaos.CampaignOpts{Seed: seed, Episodes: episodes, Loss: loss, ColdRestarts: coldRestarts}
+	cfg := opts.Config()
+	fmt.Printf("chaos campaign: seed %d, %d episodes, baseline loss %.3g, duration %v\n",
+		seed, episodes, loss, cfg.Duration)
+	for _, line := range chaos.Describe(cfg) {
+		fmt.Println(" ", line)
+	}
+	fmt.Println()
+	fmt.Printf("%-8s %10s %13s %12s %12s %12s\n",
+		"proto", "ttr", "partition I", "audits", "violations", "reconverged")
+	for _, prof := range profiles {
+		opts.Protocol = prof.Proto
+		res, err := chaos.Run(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %10v %13.4f %12d %12d %12v\n",
+			prof.Name, res.TimeToReconverge.Round(time.Millisecond),
+			res.InconsistencyUnderPartition, res.Audits, len(res.Violations), res.Reconverged)
+		for _, v := range res.Violations {
+			fmt.Println("    violation:", v)
+		}
+	}
+	return nil
 }
 
 // runLive executes the requested protocols on the real runtime in virtual

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"softstate/internal/signal"
+	"softstate/internal/sim"
+	"softstate/internal/variant"
+)
+
+// TestSeededScheduleDeterministic: the seed fully determines the
+// generated schedule.
+func TestSeededScheduleDeterministic(t *testing.T) {
+	a := CampaignOpts{Protocol: signal.SSRTR, Seed: 1234, Episodes: 6}.Config()
+	b := CampaignOpts{Protocol: signal.SSRTR, Seed: 1234, Episodes: 6}.Config()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", Describe(a), Describe(b))
+	}
+	c := CampaignOpts{Protocol: signal.SSRTR, Seed: 1235, Episodes: 6}.Config()
+	if reflect.DeepEqual(a.Schedule, c.Schedule) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a.Schedule) == 0 {
+		t.Fatal("empty generated schedule")
+	}
+}
+
+// TestSeededCampaignReplays: a generated campaign's full result — fault
+// log, audit log, invariant record — is byte-identical across runs of the
+// same seed.
+func TestSeededCampaignReplays(t *testing.T) {
+	opts := CampaignOpts{Protocol: signal.SSRT, Seed: 99, Episodes: 3, Loss: 0.05}
+	r1, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same seed, different campaigns:\nrun1: %+v\nrun2: %+v", r1, r2)
+	}
+}
+
+// TestSeededCampaignAllVariantsSurvive: a generated (cold-restart-free)
+// schedule leaves every variant reconverged with zero invariant
+// violations.
+func TestSeededCampaignAllVariantsSurvive(t *testing.T) {
+	for _, proto := range []signal.Protocol{signal.SS, signal.SSER, signal.SSRT, signal.SSRTR, signal.HS} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			res, err := Run(CampaignOpts{Protocol: proto, Seed: 7, Episodes: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("invariant violations: %v", res.Violations)
+			}
+			if !res.Reconverged {
+				t.Fatalf("never reconverged: %+v", res)
+			}
+		})
+	}
+}
+
+// TestColdRestartGate: receiver cold-restarts only appear when opted in,
+// since hard state cannot recover from them.
+func TestColdRestartGate(t *testing.T) {
+	hasCold := func(cfg sim.CampaignConfig) bool {
+		for _, f := range cfg.Schedule {
+			if f.Kind == sim.FaultReceiverRestart || f.Kind == sim.FaultRelayRestart {
+				return true
+			}
+		}
+		return false
+	}
+	for seed := uint64(1); seed <= 40; seed++ {
+		if hasCold(CampaignOpts{Protocol: signal.HS, Seed: seed, Episodes: 6}.Config()) {
+			t.Fatalf("seed %d generated a cold restart without opting in", seed)
+		}
+	}
+	any := false
+	for seed := uint64(1); seed <= 40; seed++ {
+		if hasCold(CampaignOpts{Protocol: signal.SS, Seed: seed, Episodes: 6, ColdRestarts: true}.Config()) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		t.Fatal("40 opted-in seeds never generated a cold restart")
+	}
+}
+
+// TestVariantProfilesCoverEngine: the fuzzer's protocol list and the
+// variant layer's canonical order agree, so corpus selector bytes mean
+// the same profile everywhere.
+func TestVariantProfilesCoverEngine(t *testing.T) {
+	all := variant.All()
+	if len(all) != len(Protocols) {
+		t.Fatalf("engine knows %d protocols, variant layer %d", len(Protocols), len(all))
+	}
+	for i, p := range Protocols {
+		if all[i].Proto != p {
+			t.Fatalf("order mismatch at %d: engine %v, variant %v", i, p, all[i].Proto)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// seedTrace builds a corpus entry: variant selector byte followed by
+// two-byte ops.
+func seedTrace(variant byte, ops ...Op) []byte {
+	data := []byte{variant}
+	for _, op := range ops {
+		data = append(data, byte(op.Kind), op.Arg)
+	}
+	return data
+}
+
+// corpusSeeds are the scenarios the fuzzer should mutate outward from:
+// each one aims a specific mutation class at live protocol state.
+func corpusSeeds() [][]byte {
+	install := func(k byte) Op { return Op{OpInstall, k} }
+	tick := func(ms byte) Op { return Op{OpAdvance, ms} }
+	seeds := [][]byte{
+		// Plain workload churn, no mutations.
+		seedTrace(0, install(0), tick(10), Op{OpUpdate, 0}, tick(10), Op{OpRemove, 0}, tick(40)),
+		// Duplicate and stale-replay against a renewed key.
+		seedTrace(1, install(1), tick(5), Op{OpDuplicate, 0}, Op{OpUpdate, 1}, Op{OpReplay, 0}, tick(20)),
+		// Reordering window across an update burst.
+		seedTrace(2, install(2), Op{OpHold, 0}, Op{OpUpdate, 2}, Op{OpUpdate, 2}, Op{OpRelease, 0}, tick(10)),
+		// Hold that overruns the budget (auto-release path).
+		seedTrace(3, install(3), Op{OpHold, 0}, tick(31), tick(31), tick(31), Op{OpUpdate, 3}, tick(10)),
+		// Cross-session splice onto an owned and an unowned key.
+		seedTrace(4, install(0), tick(5), Op{OpSplice, 3}, Op{OpSplice, 11}, tick(30)),
+		// Framing damage and garbage against live state.
+		seedTrace(0, install(4), Op{OpTruncate, 7}, Op{OpGarbage, 99}, tick(10)),
+		// Type confusion: refresh↔trigger flips around a removal.
+		seedTrace(4, install(5), tick(5), Op{OpTypeFlip, 0}, Op{OpRemove, 5}, Op{OpTypeFlip, 0}, tick(40)),
+		// Stale replay resurrecting a removed key (zombie cleanup path).
+		seedTrace(1, install(6), tick(5), Op{OpRemove, 6}, tick(10), Op{OpReplay, 2}, tick(40)),
+	}
+	return seeds
+}
+
+// FuzzSession drives decoded mutation traces into one live
+// sender/receiver pair (first input byte selects the variant) and fails
+// on any structural invariant violation at any step. Every failure
+// reproduces from its corpus entry alone: the engine runs entirely in
+// virtual time over a seeded network.
+func FuzzSession(f *testing.F) {
+	for _, s := range corpusSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		res, err := RunTrace(int(data[0])%len(Protocols), DecodeTrace(data[1:]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("%s: invariant violations under trace:\n%v", res.Protocol, res.Violations)
+		}
+	})
+}
+
+// FuzzDifferential drives the same adversarial trace into all five
+// variant profiles and applies each profile's allowed-divergence rule:
+// refresh-bearing variants must reconverge the receiver to the sender's
+// exact intent, hard state may diverge only on keys a splice forged.
+func FuzzDifferential(f *testing.F) {
+	for _, s := range corpusSeeds() {
+		f.Add(s[1:]) // differential runs every variant; no selector byte
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := DecodeTrace(data)
+		for i := range Protocols {
+			res, err := RunTrace(i, ops)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("%s: invariant violations: %v", res.Protocol, res.Violations)
+			}
+			if bad := DivergenceViolations(res); len(bad) != 0 {
+				t.Fatalf("%s: divergence beyond the variant's allowance: %v\nintent=%q survivor=%q spliced=%v",
+					res.Protocol, bad, res.Intent, res.Survivor, res.Spliced)
+			}
+		}
+	})
+}
+
+// TestCorpusSeeds replays every corpus seed through both fuzz bodies as a
+// plain test, so `go test` (and CI's short mode) exercises the whole
+// mutation grammar deterministically even when no fuzz engine runs.
+func TestCorpusSeeds(t *testing.T) {
+	for i, s := range corpusSeeds() {
+		res, err := RunTrace(int(s[0])%len(Protocols), DecodeTrace(s[1:]))
+		if err != nil {
+			t.Fatalf("seed %d: %v", i, err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("seed %d (%s): %v", i, res.Protocol, res.Violations)
+		}
+	}
+}
+
+// TestDifferentialSeeds applies the differential divergence rule to every
+// corpus seed across all five variants.
+func TestDifferentialSeeds(t *testing.T) {
+	for i, s := range corpusSeeds() {
+		ops := DecodeTrace(s[1:])
+		for pi := range Protocols {
+			res, err := RunTrace(pi, ops)
+			if err != nil {
+				t.Fatalf("seed %d: %v", i, err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("seed %d (%s): %v", i, res.Protocol, res.Violations)
+			}
+			if bad := DivergenceViolations(res); len(bad) != 0 {
+				t.Fatalf("seed %d (%s): %v\nintent=%q survivor=%q spliced=%v",
+					i, res.Protocol, bad, res.Intent, res.Survivor, res.Spliced)
+			}
+		}
+	}
+}
+
+// TestEngineExercisesCodec proves the damage ops reach the codec: a
+// truncation plus garbage trace must leave decode-error evidence.
+func TestEngineExercisesCodec(t *testing.T) {
+	ops := []Op{{OpInstall, 0}, {OpAdvance, 5}, {OpTruncate, 200}, {OpGarbage, 42}, {OpAdvance, 5}}
+	res, err := RunTrace(0, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecodeErrors == 0 {
+		t.Fatal("truncate+garbage trace produced no decode errors — mutations are not reaching the receiver")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+}

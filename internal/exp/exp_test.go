@@ -36,6 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-multihop-sim", "ablation-cost-weight",
 		"ext-convergence", "ext-repair", "ext-sensitivity",
 		"ext-loss50", "ext-chain20", "ext-fanout1024", "ext-topology",
+		"ext-chaos",
 		"live5",
 	}
 	for _, id := range want {

@@ -21,6 +21,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"softstate/internal/bufpool"
@@ -108,9 +109,15 @@ func Pipe(cfg Config) (a, b net.PacketConn, err error) {
 // receivers inside a single (virtual or wall) clock domain.
 type Network struct {
 	cfg Config
-	mu  sync.Mutex // guards rng during endpoint creation
+	mu  sync.Mutex // guards rng during endpoint creation and rules edits
 	rng *rand.Source
 	eps sync.Map // name → *pipeConn; lock-free on the per-write route lookup
+
+	// rules holds the current fault state (partitions, downed endpoints,
+	// per-link loss overrides) as an immutable snapshot: writes swap in a
+	// fresh copy under mu, the per-datagram policy check is one atomic
+	// load. nil means no faults — the common case costs a nil check.
+	rules atomic.Pointer[netRules]
 }
 
 // NewNetwork creates an empty switch.
@@ -139,6 +146,7 @@ func (nw *Network) Endpoint(name string) net.PacketConn {
 	}
 	c := newPipeConn(name, nw.cfg, nw.rng.Split())
 	c.route = nw.lookup
+	c.policy = nw.policyFor
 	nw.eps.Store(name, c)
 	return c
 }
@@ -163,6 +171,11 @@ type pipeConn struct {
 	clk   clock.Clock
 	gate  *clock.Virtual // non-nil in virtual mode
 	route func(to net.Addr) *pipeConn
+	// policy, when non-nil, consults the owning Network's fault rules per
+	// write: allow=false blackholes the datagram (partition, downed
+	// endpoint), loss ≥ 0 overrides the configured loss probability for
+	// this directed link. Pipe conns have no policy.
+	policy func(from, to string) (allow bool, loss float64)
 
 	mu     sync.Mutex
 	rng    *rand.Source
@@ -259,19 +272,33 @@ func newPipeConn(name string, cfg Config, rng *rand.Source) *pipeConn {
 	}
 }
 
-// WriteTo applies loss and delay, then enqueues at the destination.
+// WriteTo applies the fault policy, loss, and delay, then enqueues at the
+// destination.
 func (c *pipeConn) WriteTo(p []byte, to net.Addr) (int, error) {
+	lossP := c.cfg.Loss
+	blocked := false
+	if c.policy != nil && to != nil {
+		allow, lp := c.policy(string(c.name), to.String())
+		if !allow {
+			blocked = true
+		} else if lp >= 0 {
+			lossP = lp
+		}
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return 0, net.ErrClosed
 	}
-	drop := c.rng.Bernoulli(c.cfg.Loss)
+	// The loss draw happens even on a blocked link, so a conn consumes its
+	// rng stream at the same rate whether or not a partition is active —
+	// replays of the same seed and fault schedule stay byte-identical.
+	drop := c.rng.Bernoulli(lossP)
 	delay := c.sampleDelayLocked()
 	c.mu.Unlock()
 
 	peer := c.route(to)
-	if drop || peer == nil {
+	if blocked || drop || peer == nil {
 		return len(p), nil // silently dropped, like a lossy network
 	}
 	if c.gate != nil {

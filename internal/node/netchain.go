@@ -1,0 +1,233 @@
+package node
+
+import (
+	"fmt"
+	"net"
+
+	"softstate/internal/lossy"
+	"softstate/internal/signal"
+)
+
+// NetChain is Chain's switch-backed sibling: the same origin → relays →
+// tail signaling path, but every hop's sockets are named endpoints of one
+// shared lossy.Network instead of private pipes. That single switch is
+// what the failure-campaign layer needs — partitions can cut the path
+// between any two hops, links can degrade asymmetrically, and any hop can
+// crash and restart on its own address mid-run (RestartOrigin,
+// RestartRelay, RestartTail), with the protocol left to resynchronize
+// state through its own mechanisms.
+//
+// Node i's upstream socket is endpoint "n<i>.up", its downstream socket
+// "n<i>.down"; the origin has only a downstream socket and the tail only
+// an upstream one.
+type NetChain struct {
+	// Net is the shared switch; campaign layers drive faults through it.
+	Net *lossy.Network
+	// Origin is the head node; Install/Remove go through it.
+	Origin *Node
+	// Relays are the interior hops, upstream to downstream; Relays[j] is
+	// chain node j+1.
+	Relays []*Relay
+	// Tail is the final receiver.
+	Tail *signal.Receiver
+
+	cfg   signal.Config
+	nodes int
+	first net.Addr
+}
+
+func chainUpName(i int) string   { return fmt.Sprintf("n%d.up", i) }
+func chainDownName(i int) string { return fmt.Sprintf("n%d.down", i) }
+
+// NewNetChain builds a chain of nodes ≥ 2 over one switch configured by
+// link; cfg applies to every hop.
+func NewNetChain(nodes int, cfg signal.Config, link lossy.Config) (*NetChain, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("node: chain needs ≥ 2 nodes, got %d", nodes)
+	}
+	nw, err := lossy.NewNetwork(link)
+	if err != nil {
+		return nil, err
+	}
+	c := &NetChain{Net: nw, cfg: cfg, nodes: nodes}
+	origin, err := New(nw.Endpoint(chainDownName(0)), cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Origin = origin
+	c.first = nw.Endpoint(chainUpName(1)).LocalAddr()
+	for i := 1; i < nodes-1; i++ {
+		relay, err := NewRelay(
+			nw.Endpoint(chainUpName(i)),
+			nw.Endpoint(chainDownName(i)),
+			nw.Endpoint(chainUpName(i+1)).LocalAddr(),
+			cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Relays = append(c.Relays, relay)
+	}
+	tail, err := signal.NewReceiver(nw.Endpoint(chainUpName(nodes-1)), cfg)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.Tail = tail
+	return c, nil
+}
+
+// Install installs key at the first hop; relays propagate it to the tail.
+func (c *NetChain) Install(key string, value []byte) error {
+	return c.Origin.Install(c.first, key, value)
+}
+
+// Update changes key's value end to end.
+func (c *NetChain) Update(key string, value []byte) error {
+	return c.Origin.Update(c.first, key, value)
+}
+
+// Remove withdraws key end to end.
+func (c *NetChain) Remove(key string) error {
+	return c.Origin.Remove(c.first, key)
+}
+
+// Receivers returns every state-holding hop, upstream to downstream.
+func (c *NetChain) Receivers() []*signal.Receiver {
+	out := make([]*signal.Receiver, 0, len(c.Relays)+1)
+	for _, r := range c.Relays {
+		out = append(out, r.Receiver())
+	}
+	if c.Tail != nil {
+		out = append(out, c.Tail)
+	}
+	return out
+}
+
+// Holds reports how many hops currently hold state for key.
+func (c *NetChain) Holds(key string) int {
+	n := 0
+	for _, r := range c.Receivers() {
+		if _, ok := r.Get(key); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants audits every hop — the origin's sender core, each
+// relay's two faces, and the tail — returning all violations found.
+func (c *NetChain) CheckInvariants() []string {
+	var bad []string
+	if c.Origin != nil {
+		bad = append(bad, c.Origin.CheckInvariants()...)
+	}
+	for _, r := range c.Relays {
+		bad = append(bad, r.CheckInvariants()...)
+	}
+	if c.Tail != nil {
+		bad = append(bad, c.Tail.CheckInvariants()...)
+	}
+	return bad
+}
+
+// PartitionAt cuts the chain between node i and node i+1: nodes ≤ i land
+// on one side of the switch partition, nodes > i on the other. Heal
+// reverses it.
+func (c *NetChain) PartitionAt(i int) {
+	var left []string
+	for n := 0; n <= i && n < c.nodes; n++ {
+		if n > 0 {
+			left = append(left, chainUpName(n))
+		}
+		if n < c.nodes-1 {
+			left = append(left, chainDownName(n))
+		}
+	}
+	c.Net.Partition(left)
+}
+
+// Heal removes any partition.
+func (c *NetChain) Heal() { c.Net.Heal() }
+
+// SetForwardLoss overrides the loss probability of the directed link from
+// node i to node i+1 — the trigger/refresh direction. A negative p clears
+// the override. Paired with SetReverseLoss it models asymmetric loss,
+// where data flows but acknowledgements die (or vice versa).
+func (c *NetChain) SetForwardLoss(i int, p float64) {
+	c.Net.SetLinkLoss(chainDownName(i), chainUpName(i+1), p)
+}
+
+// SetReverseLoss overrides the loss probability of the directed link from
+// node i+1 back to node i — the ack/nack/notify direction.
+func (c *NetChain) SetReverseLoss(i int, p float64) {
+	c.Net.SetLinkLoss(chainUpName(i+1), chainDownName(i), p)
+}
+
+// RestartOrigin crashes and restarts the head node: its socket dies and a
+// fresh node comes back on the same address with no installed state — the
+// caller decides what the second life re-installs.
+func (c *NetChain) RestartOrigin() error {
+	c.Origin.Close()
+	origin, err := New(c.Net.Restart(chainDownName(0)), c.cfg)
+	if err != nil {
+		return err
+	}
+	c.Origin = origin
+	return nil
+}
+
+// RestartRelay crashes and restarts interior hop j (chain node j+1): both
+// its sockets die and a fresh relay takes over the same addresses with
+// empty tables. Upstream refresh/retransmission repopulates it, and its
+// new downstream incarnation re-signals from a later sequence space.
+func (c *NetChain) RestartRelay(j int) error {
+	if j < 0 || j >= len(c.Relays) {
+		return fmt.Errorf("node: no relay %d", j)
+	}
+	node := j + 1
+	c.Relays[j].Close()
+	relay, err := NewRelay(
+		c.Net.Restart(chainUpName(node)),
+		c.Net.Restart(chainDownName(node)),
+		c.Net.Endpoint(chainUpName(node+1)).LocalAddr(),
+		c.cfg)
+	if err != nil {
+		return err
+	}
+	c.Relays[j] = relay
+	return nil
+}
+
+// RestartTail crashes and restarts the tail receiver: a cold restart with
+// an empty table, left to re-converge (or not — hard state cannot) from
+// upstream refreshes.
+func (c *NetChain) RestartTail() error {
+	c.Tail.Close()
+	tail, err := signal.NewReceiver(c.Net.Restart(chainUpName(c.nodes-1)), c.cfg)
+	if err != nil {
+		return err
+	}
+	c.Tail = tail
+	return nil
+}
+
+// Close shuts every element down, head to tail. Safe on a partially
+// constructed chain.
+func (c *NetChain) Close() error {
+	var err error
+	if c.Origin != nil {
+		err = c.Origin.Close()
+	}
+	for _, r := range c.Relays {
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if c.Tail != nil {
+		if cerr := c.Tail.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,124 @@
+package node
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"softstate/internal/clock"
+	"softstate/internal/lossy"
+	"softstate/internal/signal"
+)
+
+// vnetchain builds an N-node switch-backed chain in virtual time.
+func vnetchain(t *testing.T, nodes int, cfg signal.Config, link lossy.Config) (*clock.Virtual, *NetChain) {
+	t.Helper()
+	v := clock.NewVirtual()
+	cfg.Clock = v
+	link.Clock = v
+	c, err := NewNetChain(nodes, cfg, link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return v, c
+}
+
+// TestNetChainPropagates: the switch-backed chain behaves like the
+// pipe-backed one end to end.
+func TestNetChainPropagates(t *testing.T) {
+	v, c := vnetchain(t, 4, fastConfig(signal.SSRTR), cleanLink)
+	if err := c.Install("flow/1", []byte("10Mbps")); err != nil {
+		t.Fatal(err)
+	}
+	within(t, v, time.Second, "install reaches all hops", func() bool { return c.Holds("flow/1") == 3 })
+	got, ok := c.Tail.Get("flow/1")
+	if !ok || !bytes.Equal(got, []byte("10Mbps")) {
+		t.Fatalf("tail holds %q, %v", got, ok)
+	}
+	if err := c.Remove("flow/1"); err != nil {
+		t.Fatal(err)
+	}
+	within(t, v, time.Second, "removal cascades", func() bool { return c.Holds("flow/1") == 0 })
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("invariants: %v", bad)
+	}
+}
+
+// TestNetChainRelayRestartReconverges: an interior relay crashes with all
+// its state and comes back cold on the same addresses; upstream refreshes
+// repopulate it and it re-signals downstream from a newer incarnation, so
+// the whole path reconverges without any end-to-end restart.
+func TestNetChainRelayRestartReconverges(t *testing.T) {
+	v, c := vnetchain(t, 4, fastConfig(signal.SSRTR), cleanLink)
+	if err := c.Install("flow/1", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	within(t, v, time.Second, "initial convergence", func() bool { return c.Holds("flow/1") == 3 })
+
+	if err := c.RestartRelay(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Holds("flow/1"); got == 3 {
+		t.Fatal("restarted relay still holds state")
+	}
+	within(t, v, 2*time.Second, "post-restart reconvergence", func() bool { return c.Holds("flow/1") == 3 })
+	if got, ok := c.Tail.Get("flow/1"); !ok || !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("tail holds %q, %v after relay restart", got, ok)
+	}
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("invariants after relay restart: %v", bad)
+	}
+}
+
+// TestNetChainPartitionHealsAndReconverges: a partition cut mid-chain
+// stops propagation; after healing, refresh/retransmission carries the
+// blocked install through.
+func TestNetChainPartitionHealsAndReconverges(t *testing.T) {
+	v, c := vnetchain(t, 4, fastConfig(signal.SSRTR), cleanLink)
+	if err := c.Install("flow/pre", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	within(t, v, time.Second, "pre-partition convergence", func() bool { return c.Holds("flow/pre") == 3 })
+
+	c.PartitionAt(1) // cut between relay 0 (node 1) and relay 1 (node 2)
+	if err := c.Install("flow/during", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	within(t, v, time.Second, "install reaches the near side", func() bool { return c.Holds("flow/during") >= 1 })
+	v.Run(200 * time.Millisecond)
+	if _, ok := c.Tail.Get("flow/during"); ok {
+		t.Fatal("install crossed an active partition")
+	}
+
+	c.Heal()
+	within(t, v, 2*time.Second, "post-heal reconvergence", func() bool { return c.Holds("flow/during") == 3 })
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("invariants after heal: %v", bad)
+	}
+}
+
+// TestNetChainTailColdRestart: the tail crashes with all state; under a
+// refresh protocol the upstream relay's refreshes rebuild it from
+// nothing — the soft-state resynchronization story.
+func TestNetChainTailColdRestart(t *testing.T) {
+	v, c := vnetchain(t, 3, fastConfig(signal.SS), cleanLink)
+	if err := c.Install("flow/1", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	within(t, v, time.Second, "initial convergence", func() bool { return c.Holds("flow/1") == 2 })
+
+	if err := c.RestartTail(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Tail.Get("flow/1"); ok {
+		t.Fatal("cold-restarted tail holds state")
+	}
+	within(t, v, 2*time.Second, "tail rebuilt from refreshes", func() bool {
+		_, ok := c.Tail.Get("flow/1")
+		return ok
+	})
+	if bad := c.CheckInvariants(); len(bad) != 0 {
+		t.Fatalf("invariants after tail restart: %v", bad)
+	}
+}

@@ -91,6 +91,10 @@ func (n *Node) Remove(peer net.Addr, key string) error {
 // Live returns the number of live keys across all peers.
 func (n *Node) Live() int { return n.ss.Live() }
 
+// CheckInvariants audits the sender core's internal consistency; see
+// signal.Sessions.CheckInvariants.
+func (n *Node) CheckInvariants() []string { return n.ss.CheckInvariants() }
+
 // Events exposes the observability stream shared by all sessions; closed
 // on Close. Event.Peer identifies the session.
 func (n *Node) Events() <-chan signal.Event { return n.ss.Events() }

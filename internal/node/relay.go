@@ -103,6 +103,12 @@ func (r *Relay) onUpstream(ev signal.Event) {
 	}
 }
 
+// CheckInvariants audits both faces of the relay — the upstream receiver
+// and the downstream sender core — and returns every violation found.
+func (r *Relay) CheckInvariants() []string {
+	return append(r.rcv.CheckInvariants(), r.down.CheckInvariants()...)
+}
+
 // Receiver returns the upstream side, for state inspection and events.
 func (r *Relay) Receiver() *signal.Receiver { return r.rcv }
 

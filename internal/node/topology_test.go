@@ -164,7 +164,7 @@ func TestTreeValidation(t *testing.T) {
 	if _, err := NewTree(2, 0, signal.Config{}, lossy.Config{}); err == nil {
 		t.Fatal("depth 0 must be rejected")
 	}
-	if _, err := NewTree(1 << 11, 2, signal.Config{}, lossy.Config{}); err == nil {
+	if _, err := NewTree(1<<11, 2, signal.Config{}, lossy.Config{}); err == nil {
 		t.Fatal("oversized tree must be rejected")
 	}
 	if _, err := NewRing(1, signal.Config{}, lossy.Config{}); err == nil {

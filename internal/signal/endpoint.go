@@ -57,7 +57,7 @@ func (tp *fencedConn) close() error {
 // every event, even ones the channel would drop.
 type eventSink struct {
 	ch     chan Event
-	fn     func(Event) // Config.OnEvent; may be nil
+	fn     func(Event)  // Config.OnEvent; may be nil
 	mu     sync.RWMutex // write-held only to close ch
 	closed bool
 }

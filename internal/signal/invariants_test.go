@@ -1,0 +1,88 @@
+package signal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestCheckInvariantsCleanAcrossVariants: a converged sender/receiver
+// pair violates no invariant under any of the five protocols, through
+// install, steady state, and partial removal.
+func TestCheckInvariantsCleanAcrossVariants(t *testing.T) {
+	for _, proto := range []Protocol{SS, SSER, SSRT, SSRTR, HS} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			c := vEndpoints(t, proto, 0)
+			for i := 0; i < 8; i++ {
+				if err := c.snd.Install(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.within(time.Second, "installs", func() bool { return c.rcv.Len() == 8 })
+			audit := func(when string) {
+				c.t.Helper()
+				if bad := c.snd.CheckInvariants(); len(bad) != 0 {
+					t.Fatalf("sender invariants %s: %v", when, bad)
+				}
+				if bad := c.rcv.CheckInvariants(); len(bad) != 0 {
+					t.Fatalf("receiver invariants %s: %v", when, bad)
+				}
+			}
+			audit("after install")
+			c.run(200 * time.Millisecond) // refresh / probe steady state
+			audit("in steady state")
+			for i := 0; i < 4; i++ {
+				if err := c.snd.Remove(fmt.Sprintf("k%d", i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			c.within(time.Second, "removals", func() bool { return c.rcv.Len() == 4 })
+			c.run(200 * time.Millisecond) // drain removal acks / retransmits
+			audit("after removal")
+		})
+	}
+}
+
+// TestCheckInvariantsDetectsCorruption: hand-broken internal state is
+// reported, proving the checks bite.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	c := vEndpoints(t, SSRTR, 0)
+	if err := c.snd.Install("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	c.within(time.Second, "install", func() bool { return c.rcv.Len() == 1 })
+
+	// Receiver: un-index the entry — table and index now disagree.
+	c.rcv.idx.remove("k", rkey(c.sndAddr.String(), "k"))
+	if bad := c.rcv.CheckInvariants(); len(bad) == 0 {
+		t.Fatal("receiver index/table mismatch not detected")
+	}
+	c.rcv.idx.add("k", rkey(c.sndAddr.String(), "k")) // repair
+
+	// Receiver: index a phantom entry — a dangling reference.
+	c.rcv.idx.add("ghost", rkey(c.sndAddr.String(), "ghost"))
+	if bad := c.rcv.CheckInvariants(); len(bad) == 0 {
+		t.Fatal("receiver dangling index entry not detected")
+	}
+	c.rcv.idx.remove("ghost", rkey(c.sndAddr.String(), "ghost"))
+
+	// Sender: skew the live gauge against the table census.
+	c.snd.ss.live.Add(1)
+	if bad := c.snd.CheckInvariants(); len(bad) == 0 {
+		t.Fatal("sender live-gauge skew not detected")
+	}
+	c.snd.ss.live.Add(-1)
+
+	// Sender: skew one session's tabled counter (the eviction guard).
+	c.snd.sess.tabled.Add(1)
+	if bad := c.snd.CheckInvariants(); len(bad) == 0 {
+		t.Fatal("sender per-session tabled skew not detected")
+	}
+	c.snd.sess.tabled.Add(-1)
+
+	// All repaired: clean again.
+	if bad := append(c.snd.CheckInvariants(), c.rcv.CheckInvariants()...); len(bad) != 0 {
+		t.Fatalf("repaired state still reports: %v", bad)
+	}
+}

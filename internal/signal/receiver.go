@@ -351,30 +351,42 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 			now = r.clk.Since(r.born) + 1
 		}
 		r.tbl.Upsert(ck, func(e *receiverEntry, created bool, tc statetable.TimerControl[receiverEntry]) {
+			// Accept only non-stale payloads: a retransmitted old trigger
+			// must not clobber a newer value (sequence numbers are monotone
+			// within one sender session, and entries are per-sender).
+			accepted := m.Seq >= e.lastSeq || created
 			if created {
 				e.key = m.Key
 				e.peer = from
 				r.idx.add(m.Key, ck)
 				r.trace.Record(telemetry.TraceInstall, m.Key, m.Seq, from)
 				r.emit(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
-			} else if m.Seq >= e.lastSeq && !bytesEqual(e.value, m.Value) {
+			} else if accepted && !bytesEqual(e.value, m.Value) {
 				r.emit(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
 			}
-			// Accept only non-stale payloads: a retransmitted old trigger
-			// must not clobber a newer value (sequence numbers are monotone
-			// within one sender session, and entries are per-sender).
-			if m.Seq >= e.lastSeq || created {
+			if accepted {
 				e.lastSeq = m.Seq
 				e.value = m.Value
-			}
-			if r.measure {
-				if !created && e.renewedAt > 0 {
-					r.histJitter.Observe(now - e.renewedAt)
+				if r.measure {
+					if !created && e.renewedAt > 0 {
+						r.histJitter.Observe(now - e.renewedAt)
+					}
+					e.renewedAt = now
 				}
-				e.renewedAt = now
 			}
 			e.probeMisses = 0 // any traffic for the key proves liveness
-			r.armTimeout(tc)
+			if accepted || r.prof.HardState {
+				// Stale traffic must not renew a soft-state lifetime: if a
+				// forged or mis-delivered frame ever installed a higher
+				// sequence, the genuine sender's refreshes (now "stale")
+				// could otherwise keep the wrong value alive forever while
+				// being unable to overwrite it. Letting the entry time out
+				// instead lets the next genuine refresh re-create it — the
+				// soft-state repair property. Hard state keeps pushing its
+				// orphan probe on any traffic, since the probe guards sender
+				// liveness, not payload freshness.
+				r.armTimeout(tc)
+			}
 			if m.Type == wire.TypeTrigger && r.prof.ReliableTrigger {
 				r.ack(wire.TypeAck, m.Seq, m.Key, from)
 			}

@@ -102,6 +102,30 @@ type retiredPeer struct {
 // its eviction before the reaper prunes it.
 const retiredTTLFactor = 4
 
+// seqEpoch anchors the time-derived sequence base shared by every
+// Sessions instance on a clock. clock.Virtual's origin is this same
+// instant, so virtual runs get compact bases (nanoseconds of elapsed
+// virtual time); wall clocks get nanoseconds since 2003 — large but
+// comfortably inside uint64.
+var seqEpoch = time.Date(2003, 8, 25, 0, 0, 0, 0, time.UTC) // SIGCOMM '03
+
+// incarnationSeq is the starting sequence number of a newly created
+// session: the clock's nanoseconds since seqEpoch. Receivers keep only a
+// per-(source, key) high-water mark and discard lower sequence numbers as
+// stale, so a sender that crashes and restarts — a fresh Sessions on the
+// same address, with no retired bookmark to resume — must come back
+// numerically above its previous incarnation or every trigger it sends is
+// dropped as a replay and every summary renewal is ignored. Deriving the
+// base from the clock gives exactly that: a later incarnation starts
+// higher, because no session can consume sequence numbers faster than one
+// per nanosecond of clock time (trivially true on a wall clock; virtual
+// campaigns only need restart gaps longer than the prior incarnation's
+// operation count in nanoseconds). The wire format and the receiver's
+// >= staleness checks are untouched.
+func (ss *Sessions) incarnationSeq() uint64 {
+	return uint64(ss.clk.Now().Sub(seqEpoch))
+}
+
 // Session is one peer's sender session: its address, its private sequence
 // space, and its live-key count. All per-key state (refresh, retransmit,
 // removal timers) lives in the owning Sessions' shared table under keys
@@ -246,13 +270,19 @@ func (ss *Sessions) Session(peer net.Addr) *Session {
 		return s
 	}
 	s = &Session{ss: ss, id: ss.nextID.Add(1), peer: peer}
+	base := ss.incarnationSeq()
 	if rp, ok := sh.retired[addr]; ok {
 		// A previously evicted peer returned: resume its sequence space so
 		// receivers do not mistake the new session's traffic for stale
-		// retransmissions of the old one.
-		s.seq.Store(rp.seq)
+		// retransmissions of the old one. The bookmark still matters in
+		// virtual time, where a burst of operations can outrun the
+		// nanosecond base within one instant.
+		if rp.seq > base {
+			base = rp.seq
+		}
 		delete(sh.retired, addr)
 	}
+	s.seq.Store(base)
 	s.lastActive.Store(int64(ss.clk.Since(ss.born)))
 	sh.m[addr] = s
 	ss.peersDirty.Store(true)

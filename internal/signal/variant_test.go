@@ -214,10 +214,11 @@ func TestOrphanNotifyRepairsLiveSender(t *testing.T) {
 	})
 }
 
-// TestRetiredSeqResumeAndPrune: an evicted peer's sequence bookmark is
-// resumed on prompt return and pruned (bounding the retired map) after
-// retiredTTLFactor idle periods, after which the sequence space safely
-// restarts.
+// TestRetiredSeqResumeAndPrune: an evicted peer's sequence bookmark keeps
+// a returning peer's sequence space from regressing, and is pruned
+// (bounding the retired map) after retiredTTLFactor idle periods. New
+// sessions start from the time-derived incarnation base, so the space
+// never restarts below any prior incarnation.
 func TestRetiredSeqResumeAndPrune(t *testing.T) {
 	v, snd := vSenderOnly(t, Config{
 		Protocol:        SS,
@@ -240,26 +241,36 @@ func TestRetiredSeqResumeAndPrune(t *testing.T) {
 		t.Fatalf("evictions = %d, want 1", ss.Evictions())
 	}
 
-	// Prompt return: the new session resumes the retired sequence space.
+	// Prompt return: the new session's space sits at or above the retired
+	// one — the bookmark and the time-derived base both forbid regression.
 	s2 := ss.Session(peer)
 	if s2 == s1 {
 		t.Fatal("evicted session still in the peer table")
 	}
-	if got := s2.seq.Load(); got != seq1 {
-		t.Fatalf("resumed seq = %d, want %d", got, seq1)
+	seq2 := s2.seq.Load()
+	if seq2 < seq1 {
+		t.Fatalf("resumed seq = %d regressed below retired %d", seq2, seq1)
 	}
 
 	// The empty returning session is evicted again; once the bookmark
-	// outlives retiredTTLFactor idle periods it is pruned and a later
-	// return restarts at zero.
+	// outlives retiredTTLFactor idle periods it is pruned, bounding the
+	// retired map, and a later return starts from the incarnation base
+	// alone — still above every prior sequence number.
 	v.Run(300 * time.Millisecond) // second eviction
 	if ss.Evictions() != 2 {
 		t.Fatalf("evictions = %d, want 2", ss.Evictions())
 	}
 	v.Run(retiredTTLFactor*100*time.Millisecond + 200*time.Millisecond)
+	sh := ss.peerShardOf(peer.String())
+	sh.mu.RLock()
+	_, still := sh.retired[peer.String()]
+	sh.mu.RUnlock()
+	if still {
+		t.Fatal("retired bookmark survived past its TTL")
+	}
 	s3 := ss.Session(peer)
-	if got := s3.seq.Load(); got != 0 {
-		t.Fatalf("seq after prune = %d, want 0 (bookmark should be gone)", got)
+	if got := s3.seq.Load(); got < seq2 {
+		t.Fatalf("post-prune seq = %d regressed below %d", got, seq2)
 	}
 }
 

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"softstate/internal/signal"
+	"softstate/internal/variant"
+)
+
+// acceptanceSchedule is the canonical crash → partition → heal campaign
+// (with an asymmetric-loss episode riding along): the origin dies and
+// restarts cold at 1 s, the chain partitions mid-path at 2 s, heals at
+// 2.6 s — short enough that hard state's orphan detector (3 probe misses
+// × 300 ms) does not fire during the cut, so all five variants must
+// reconverge afterward.
+func acceptanceSchedule() []Fault {
+	return []Fault{
+		{At: 500 * time.Millisecond, Kind: FaultForwardLoss, Hop: 0, Loss: 0.5},
+		{At: 900 * time.Millisecond, Kind: FaultForwardLoss, Hop: 0, Loss: -1},
+		{At: 1 * time.Second, Kind: FaultSenderRestart},
+		{At: 2 * time.Second, Kind: FaultPartition, Hop: 1},
+		{At: 2600 * time.Millisecond, Kind: FaultHeal},
+	}
+}
+
+// TestCampaignReplaysByteIdentically is the replayable-seed acceptance
+// check: the same config produces the same full event/invariant log,
+// compared with reflect.DeepEqual across two independent runs.
+func TestCampaignReplaysByteIdentically(t *testing.T) {
+	cfg := CampaignConfig{
+		Protocol: signal.SSRTR,
+		Loss:     0.1,
+		Seed:     42,
+		Schedule: acceptanceSchedule(),
+		Duration: 6 * time.Second,
+	}
+	r1, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("same seed, different campaigns:\nrun1: %+v\nrun2: %+v", r1, r2)
+	}
+	if len(r1.Log) == 0 || r1.Audits == 0 {
+		t.Fatalf("empty campaign log: %+v", r1)
+	}
+}
+
+// TestCampaignAllVariantsReconverge: after crash → partition → heal,
+// every one of the five variants returns to full tail/origin agreement
+// with zero invariant violations — the restart does not wedge sequence
+// spaces (UDP incarnation fix) and the heal restores propagation.
+func TestCampaignAllVariantsReconverge(t *testing.T) {
+	for _, proto := range []signal.Protocol{signal.SS, signal.SSER, signal.SSRT, signal.SSRTR, signal.HS} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			res, err := RunCampaign(CampaignConfig{
+				Protocol: proto,
+				Seed:     7,
+				Schedule: acceptanceSchedule(),
+				Duration: 6 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Violations) != 0 {
+				t.Fatalf("invariant violations: %v", res.Violations)
+			}
+			if !res.Reconverged {
+				t.Fatalf("never reconverged after heal: final holds %d/%d\nlog tail: %v",
+					res.FinalHolds, res.Keys, res.Log[len(res.Log)-5:])
+			}
+			if res.TimeToReconverge < 0 {
+				t.Fatalf("reconverged without a time: %+v", res)
+			}
+			// The partition must actually have hurt: a soft-state tail
+			// expires its entries during a 600 ms cut (timeout 300 ms), so
+			// some partition audit saw disagreement.
+			if !variant.For(proto).HardState && res.PartitionInconsistentKeys == 0 {
+				t.Fatal("soft state lost nothing under a 2×timeout partition")
+			}
+		})
+	}
+}
+
+// TestCampaignReceiverColdRestart: the paper's robustness contrast as a
+// campaign — a cold-restarted receiver is rebuilt by soft-state
+// refreshes, while hard state has no mechanism to resynchronize it and
+// stays empty until some external signal (here: never).
+func TestCampaignReceiverColdRestart(t *testing.T) {
+	schedule := []Fault{{At: time.Second, Kind: FaultReceiverRestart}}
+	soft, err := RunCampaign(CampaignConfig{
+		Protocol: signal.SS, Seed: 9, Schedule: schedule, Duration: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !soft.Reconverged {
+		t.Fatalf("soft state did not rebuild a cold receiver: %+v", soft)
+	}
+	hard, err := RunCampaign(CampaignConfig{
+		Protocol: signal.HS, Seed: 9, Schedule: schedule, Duration: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard.Reconverged {
+		t.Fatal("hard state reconverged a cold receiver with no refresh mechanism — it should not be able to")
+	}
+	if len(hard.Violations) != 0 {
+		t.Fatalf("hard state violated invariants while failing to reconverge: %v", hard.Violations)
+	}
+}
+
+// TestCampaignRelayFlap: an interior relay flap heals by itself under
+// every refresh-bearing variant.
+func TestCampaignRelayFlap(t *testing.T) {
+	res, err := RunCampaign(CampaignConfig{
+		Protocol: signal.SSRTR,
+		Nodes:    4,
+		Seed:     11,
+		Schedule: []Fault{{At: time.Second, Kind: FaultRelayRestart, Hop: 1}},
+		Duration: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reconverged || len(res.Violations) != 0 {
+		t.Fatalf("relay flap did not heal: %+v", res)
+	}
+}

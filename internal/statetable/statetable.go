@@ -358,6 +358,27 @@ func (t *Table[V]) Armed(kind TimerKind) int {
 	return n
 }
 
+// TimersArmed counts the armed timers of every kind in a single walk —
+// the same diagnostic traversal as Armed, but one pass returns the whole
+// audit, which is what invariant checkers run after every adversarial
+// step want.
+func (t *Table[V]) TimersArmed() [NumTimerKinds]int {
+	var n [NumTimerKinds]int
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			for k := range e.timers {
+				if e.timers[k].state != timerIdle {
+					n[k]++
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Keys returns all keys in no particular order.
 func (t *Table[V]) Keys() []string {
 	out := make([]string, 0, t.Len())

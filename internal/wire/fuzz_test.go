@@ -83,6 +83,18 @@ func FuzzDecode(f *testing.F) {
 	longAckKey := append([]byte{}, batch...)
 	binary.BigEndian.PutUint16(longAckKey[27:], MaxKeyLen+1)
 	f.Add(resealFrame(longAckKey))
+	// Adversarial delivery shapes the chaos engine replays against live
+	// endpoints: duplicated and self-contradictory ack items in one
+	// batch, and a probe answer for a key no receiver holds (stray or
+	// evicted-peer probe-ack) with a saturated sequence number.
+	dupBatch, _ := (&Message{Type: TypeAckBatch, Seq: 14, Acks: []AckItem{
+		{Kind: TypeAck, Seq: 5, Key: "k"},
+		{Kind: TypeAck, Seq: 5, Key: "k"},
+		{Kind: TypeRemovalAck, Seq: 5, Key: "k"},
+	}}).MarshalBinary()
+	f.Add(dupBatch)
+	strayProbeAck, _ := (&Message{Type: TypeProbeAck, Seq: ^uint64(0), Key: "evicted/peer/key"}).MarshalBinary()
+	f.Add(strayProbeAck)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Message
