@@ -3,14 +3,18 @@
 // churned single-hop experiment, the raw state-table renew path, one
 // live fan-out row per protocol variant (SS → HS), and one real-wire
 // loopback row per kernel-socket transport (udp, udp-batch, tcp) — and
-// writes the results as a JSON trajectory file (BENCH_7.json and
+// writes the results as a JSON trajectory file (BENCH_8.json and
 // successors), so every future PR can show its perf delta against a
 // recorded baseline instead of a number in a commit message. Since issue
 // 6 the rows carry the telemetry snapshot too (install→ack latency
 // quantiles, lifecycle-trace volume); since issue 7 the real-wire rows
 // record datagrams-per-syscall, the batching factor of the transport
 // layer, over a key population that crosses one million keys at a single
-// node in the full-size run.
+// node in the full-size run; since issue 10 a live-fanout-traced row runs
+// the headline fan-out with hop-propagation tracing sampling 1-in-1024
+// keys, beside the untraced row, so the trace stamping's overhead on the
+// refresh hot path stays a recorded number (expected: a few percent at
+// most).
 //
 // Usage:
 //
@@ -84,17 +88,18 @@ type trajectory struct {
 
 func main() {
 	short := flag.Bool("short", false, "run scaled-down benchmarks (CI smoke mode)")
-	out := flag.String("out", "BENCH_7.json", "output file")
+	out := flag.String("out", "BENCH_8.json", "output file")
 	flag.Parse()
 
 	tr := trajectory{
-		Issue:     7,
+		Issue:     8,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Go:        runtime.Version(),
 		CPUs:      runtime.NumCPU(),
 		Short:     *short,
 	}
 	tr.Benchmarks = append(tr.Benchmarks, liveFanout(*short))
+	tr.Benchmarks = append(tr.Benchmarks, tracedFanout(*short))
 	tr.Benchmarks = append(tr.Benchmarks, telemetryFanout(*short))
 	tr.Benchmarks = append(tr.Benchmarks, singleHop(*short))
 	tr.Benchmarks = append(tr.Benchmarks, statetableRenew(*short))
@@ -184,6 +189,47 @@ func liveFanout(short bool) entry {
 		BytesPerOp:          uint64(res.AllocedBytesPerOp()),
 		KeysRefreshedPerSec: keys / secPerOp,
 		VirtualPerWallSec:   r.Seconds() / secPerOp,
+	}
+}
+
+// tracedFanout is the headline benchmark re-run with only the causal
+// tracer attached at the deployment sampling rate (1-in-1024 keys): the
+// delta against live-fanout is the cost of hop-stamp checks and trace
+// TLVs on the refresh hot path, which must stay within a few percent.
+func tracedFanout(short bool) entry {
+	cfg := sim.FanoutConfig{
+		Peers:           64,
+		Keys:            16384,
+		RefreshInterval: 100 * time.Millisecond,
+		Timeout:         time.Hour,
+		Trace:           telemetry.NewTracer(telemetry.TracerConfig{SampleEvery: 1024}),
+	}
+	if short {
+		cfg.Peers, cfg.Keys = 8, 1024
+	}
+	h, err := sim.NewFanoutBench(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer h.Close()
+	r := cfg.RefreshInterval
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Run(r)
+		}
+	})
+	keys := float64(h.KeysPerInterval())
+	secPerOp := float64(res.NsPerOp()) / float64(time.Second)
+	return entry{
+		Name:                "live-fanout-traced",
+		Config:              fmt.Sprintf("%d peers x %d keys, R=%s, trace 1/1024", cfg.Peers, cfg.Keys, r),
+		NsPerOp:             float64(res.NsPerOp()),
+		AllocsPerOp:         uint64(res.AllocsPerOp()),
+		BytesPerOp:          uint64(res.AllocedBytesPerOp()),
+		KeysRefreshedPerSec: keys / secPerOp,
+		VirtualPerWallSec:   r.Seconds() / secPerOp,
+		TraceEvents:         uint64(cfg.Trace.Len()) + cfg.Trace.Overwritten(),
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"softstate/internal/lossy"
 	"softstate/internal/node"
 	sig "softstate/internal/signal"
+	"softstate/internal/telemetry"
 	"softstate/internal/transport"
 	"softstate/internal/variant"
 )
@@ -90,6 +91,14 @@ func main() {
 			"serve live metrics on this address: /metrics (Prometheus text, including the paper's "+
 				"inconsistency and datagrams/key/s gauges), /metrics.json, /debug/vars, /debug/pprof/; "+
 				"SIGUSR1 dumps a snapshot to stderr")
+		census = flag.Bool("census", false,
+			"maintain incremental state digests and answer wire digest queries; sender-side endpoints "+
+				"(send, relay, fan-out) also audit their peers' held state and serve the live report at "+
+				"/debug/census on -metrics-addr (softstate_divergent_keys gauges the latest census)")
+		traceSample = flag.Int("trace-sample", 0,
+			"sample 1-in-N keys for hop-propagation tracing (1 = every key, 0 = off); traced datagrams "+
+				"carry origin+hop stamps feeding the hop/e2e latency histograms, and the retained event "+
+				"ring is served at /debug/trace.json on -metrics-addr")
 		debugFlag = flag.Bool("debug", false,
 			"expose the live invariant audit: SIGUSR2 prints a CheckInvariants verdict to stderr, "+
 				"and with -metrics-addr the same audit is served at /debug/invariants")
@@ -119,13 +128,19 @@ func main() {
 		SummaryMaxKeys:  *summaryKeys,
 		CoalesceAcks:    *coalesce,
 		PeerIdleTimeout: *peerIdle,
+		Census:          *census,
+	}
+	if *traceSample > 0 {
+		cfg.Trace = telemetry.NewTracer(telemetry.TracerConfig{
+			SampleEvery: uint32(*traceSample),
+		})
 	}
 	if *debugFlag {
 		debugOn = true
 		startDebug()
 	}
 	if *metricsAddr != "" {
-		t, terr := startTelemetry(*metricsAddr)
+		t, terr := startTelemetry(*metricsAddr, cfg.Trace)
 		if terr != nil {
 			fmt.Fprintln(os.Stderr, "signald:", terr)
 			os.Exit(1)
@@ -234,6 +249,15 @@ func send(peerAddr string, cfg sig.Config, key string, value []byte, hold time.D
 	defer snd.Close()
 	installAudit(snd.CheckInvariants)
 	tele.setSent(func() int64 { return snd.SentDatagrams() + snd.ReceivedDatagrams() })
+	if cfg.Census {
+		aud := telemetry.NewAuditor()
+		aud.AddLink(telemetry.CensusLink{
+			Name:   raddr.String(),
+			Intent: snd.CensusSource("local/intent"),
+			Held:   snd.CensusPeer("peer/held", 2*time.Second),
+		})
+		tele.setAuditor(aud, "sender", cfg.RefreshInterval)
+	}
 	go logEvents("sender", snd.Events())
 
 	fmt.Printf("signald: installing %q at %v via %v, holding %v\n", key, raddr, cfg.Protocol, hold)
@@ -297,6 +321,15 @@ func relay(addr, nextHop string, cfg sig.Config) error {
 		return rc.SentDatagrams() + rc.ReceivedDatagrams() +
 			dn.SentDatagrams() + dn.ReceivedDatagrams()
 	})
+	if cfg.Census {
+		aud := telemetry.NewAuditor()
+		aud.AddLink(telemetry.CensusLink{
+			Name:   next.String(),
+			Intent: rly.Downstream().CensusSource("downstream/intent"),
+			Held:   rly.Downstream().CensusPeer("next/held", next, 2*time.Second),
+		})
+		tele.setAuditor(aud, "relay", cfg.RefreshInterval)
+	}
 	fmt.Printf("signald: %v relay on %v → %v (T=%v); Ctrl-C to stop\n",
 		cfg.Protocol, up.LocalAddr(), next, cfg.Timeout)
 
@@ -357,6 +390,21 @@ func fanout(peerList []string, cfg sig.Config, key string, value []byte, count i
 				return err
 			}
 		}
+	}
+	if cfg.Census {
+		// One audited link per peer: the installs above created the
+		// sessions, so each peer's intent slice is addressable now.
+		aud := telemetry.NewAuditor()
+		for _, a := range addrs {
+			if s := n.Peer(a); s != nil {
+				aud.AddLink(telemetry.CensusLink{
+					Name:   a.String(),
+					Intent: s.CensusSource("local/intent/" + a.String()),
+					Held:   n.CensusPeer("held/"+a.String(), a, 2*time.Second),
+				})
+			}
+		}
+		tele.setAuditor(aud, "node", cfg.RefreshInterval)
 	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)

@@ -9,6 +9,7 @@ import (
 	"os/signal"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	sig "softstate/internal/signal"
 	"softstate/internal/telemetry"
@@ -21,16 +22,21 @@ import (
 // A nil *telem (metrics disabled) makes every method a no-op, so mode
 // functions call it unconditionally.
 type telem struct {
-	reg  *telemetry.Registry
-	ln   net.Listener
-	srv  *http.Server
-	sent atomic.Pointer[func() int64] // endpoint datagram-total supplier
-	pm   *telemetry.PaperMetrics
+	reg     *telemetry.Registry
+	ln      net.Listener
+	srv     *http.Server
+	sent    atomic.Pointer[func() int64] // endpoint datagram-total supplier
+	pm      *telemetry.PaperMetrics
+	auditor atomic.Pointer[telemetry.Auditor] // set once the endpoint exists
 }
 
 // startTelemetry opens the metrics listener and the SIGUSR1 dump handler.
-func startTelemetry(addr string) (*telem, error) {
+// tracer (nil when -trace-sample is off) backs /debug/trace.json; the
+// convergence auditor behind /debug/census arrives late via setAuditor,
+// once the mode function has an endpoint to audit.
+func startTelemetry(addr string, tracer *telemetry.Tracer) (*telem, error) {
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterProcessMetrics(reg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("metrics listener: %w", err)
@@ -39,6 +45,18 @@ func startTelemetry(addr string) (*telem, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/", telemetry.NewMux(reg))
 	mux.HandleFunc("/debug/invariants", debugInvariantsHandler)
+	if tracer != nil {
+		mux.HandleFunc("/debug/trace.json", telemetry.TraceHandler(tracer))
+	}
+	mux.HandleFunc("/debug/census", func(w http.ResponseWriter, r *http.Request) {
+		aud := t.auditor.Load()
+		if aud == nil {
+			http.Error(w, "census not enabled (-census on an auditing endpoint)",
+				http.StatusServiceUnavailable)
+			return
+		}
+		aud.ServeHTTP(w, r)
+	})
 	t.srv = &http.Server{Handler: mux}
 	go t.srv.Serve(ln)
 
@@ -92,6 +110,28 @@ func (t *telem) setSent(fn func() int64) {
 	if t != nil && fn != nil {
 		t.sent.Store(&fn)
 	}
+}
+
+// setAuditor publishes the convergence auditor behind /debug/census,
+// registers its gauges, and starts a background census every interval so
+// softstate_divergent_keys moves without anyone scraping /debug/census.
+// The runner lives for the process — signald endpoints do too.
+func (t *telem) setAuditor(aud *telemetry.Auditor, role string, interval time.Duration) {
+	if t == nil || aud == nil {
+		return
+	}
+	aud.Register(t.reg, telemetry.Labels{"role": role})
+	t.auditor.Store(aud)
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for range tick.C {
+			aud.Run()
+		}
+	}()
 }
 
 // dump writes a Prometheus-text snapshot — the SIGUSR1 and shutdown view.

@@ -36,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-multihop-sim", "ablation-cost-weight",
 		"ext-convergence", "ext-repair", "ext-sensitivity",
 		"ext-loss50", "ext-chain20", "ext-fanout1024", "ext-topology",
-		"ext-chaos",
+		"ext-chaos", "ext-census",
 		"live5",
 	}
 	for _, id := range want {

@@ -6,6 +6,7 @@ import (
 
 	"softstate/internal/lossy"
 	"softstate/internal/signal"
+	"softstate/internal/telemetry"
 )
 
 // Chain is a live N-node signaling path: an origin Node, N-2 interior
@@ -74,6 +75,11 @@ func NewChain(nodes int, cfg signal.Config, link lossy.Config) (*Chain, error) {
 	return c, nil
 }
 
+// FirstHop returns the first hop's upstream address — the peer Install
+// and Remove target at the origin, and the Event.Peer the origin's
+// sender events carry.
+func (c *Chain) FirstHop() net.Addr { return c.first }
+
 // Install installs key at the first hop; relays propagate it to the tail.
 func (c *Chain) Install(key string, value []byte) error {
 	return c.Origin.Install(c.first, key, value)
@@ -99,6 +105,28 @@ func (c *Chain) Receivers() []*signal.Receiver {
 	}
 	if c.Tail != nil {
 		out = append(out, c.Tail)
+	}
+	return out
+}
+
+// CensusLinks pairs every adjacent (sender intent, receiver held) digest
+// source along the chain, upstream to downstream — the auditor wiring
+// for a live convergence census (requires signal.Config.Census on cfg).
+// Each chain hop has exactly one downstream peer, so the O(1) global
+// table sources are exact per-link digests here.
+func (c *Chain) CensusLinks() []telemetry.CensusLink {
+	senders := []*Node{c.Origin}
+	for _, r := range c.Relays {
+		senders = append(senders, r.Downstream())
+	}
+	rcvs := c.Receivers()
+	out := make([]telemetry.CensusLink, 0, len(rcvs))
+	for i, rcv := range rcvs {
+		out = append(out, telemetry.CensusLink{
+			Name:   fmt.Sprintf("hop%d", i+1),
+			Intent: senders[i].CensusSource(fmt.Sprintf("node%d/intent", i)),
+			Held:   rcv.CensusSource(fmt.Sprintf("node%d/held", i+1)),
+		})
 	}
 	return out
 }

@@ -24,10 +24,12 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 
 	"softstate/internal/signal"
 	"softstate/internal/telemetry"
 	"softstate/internal/transport"
+	"softstate/internal/wire"
 )
 
 // Node is a multi-peer signaling sender: one net.PacketConn, many
@@ -78,6 +80,13 @@ func (n *Node) Install(peer net.Addr, key string, value []byte) error {
 	return n.ss.Session(peer).Install(key, value)
 }
 
+// InstallCtx installs state for key at peer while forwarding an
+// upstream trace context — the relay path of hop-propagated tracing
+// (see signal.Session.InstallCtx). A zero fwd is equivalent to Install.
+func (n *Node) InstallCtx(peer net.Addr, key string, value []byte, fwd wire.TraceContext) error {
+	return n.ss.Session(peer).InstallCtx(key, value, fwd)
+}
+
 // Update changes the state value for key at peer.
 func (n *Node) Update(peer net.Addr, key string, value []byte) error {
 	return n.ss.Session(peer).Update(key, value)
@@ -120,6 +129,22 @@ func (n *Node) Evictions() int { return n.ss.Evictions() }
 // SummarySweep sends one summary-refresh round for every peer now and
 // returns the datagram count; see signal.Sessions.SummarySweep.
 func (n *Node) SummarySweep() int { return n.ss.SummarySweep() }
+
+// CensusSource exposes the node's whole intent digest as a convergence
+// auditor source (requires signal.Config.Census). Sums are O(1) reads
+// of the incremental table digest; on a node with several peers the
+// per-key contributions of all sessions XOR together, so use this on
+// single-downstream nodes (chain hops) and Peer(addr).CensusSource for
+// per-link audits on fan-out nodes.
+func (n *Node) CensusSource(name string) telemetry.CensusSource {
+	return n.ss.CensusSource(name)
+}
+
+// CensusPeer builds an auditor source auditing the receiver at peer over
+// the wire digest protocol; see signal.Sessions.CensusPeer.
+func (n *Node) CensusPeer(name string, peer net.Addr, timeout time.Duration) telemetry.CensusSource {
+	return n.ss.CensusPeer(name, peer, timeout)
+}
 
 // Close stops all timers, closes the transport, and waits for the receive
 // loop to drain. The events channel is closed afterwards. Idempotent.

@@ -87,7 +87,11 @@ func (r *Relay) onUpstream(ev signal.Event) {
 	case signal.EventInstalled, signal.EventUpdated:
 		for _, next := range r.nexts {
 			r.relayed.Add(1)
-			if err := r.down.Install(next, ev.Key, ev.Value); err != nil {
+			// Forward the upstream trace context: the origin stamp passes
+			// through and the hop count grows, so the chain's tail measures
+			// install latency across every hop (zero contexts forward as
+			// plain installs).
+			if err := r.down.InstallCtx(next, ev.Key, ev.Value, ev.Trace); err != nil {
 				r.errs.Add(1)
 			}
 		}

@@ -77,6 +77,39 @@ func (ss *Sessions) registerMetrics() {
 		Help:   "Idle peer sessions evicted from the peer table.",
 		Labels: labels,
 	}, &ss.evictions)
+	reg.GaugeFunc(telemetry.Opts{
+		Name:   "softstate_peer_rtt_seconds",
+		Help:   "Mean of the per-peer trigger→ack round-trip EWMAs (peers with at least one measured ack).",
+		Labels: labels,
+	}, func() float64 {
+		var sum float64
+		n := 0
+		for _, s := range ss.Peers() {
+			if v := s.rttNs.Load(); v > 0 {
+				sum += float64(v) / 1e9
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	})
+	reg.GaugeFunc(telemetry.Opts{
+		Name:   "softstate_peer_loss_ratio",
+		Help:   "Estimated loss rate across all peers: retransmits / (triggers + retransmits).",
+		Labels: labels,
+	}, func() float64 {
+		var trigs, retxs int64
+		for _, s := range ss.Peers() {
+			trigs += s.trigs.Load()
+			retxs += s.retxs.Load()
+		}
+		if trigs+retxs == 0 {
+			return 0
+		}
+		return float64(retxs) / float64(trigs+retxs)
+	})
 	registerTableGauges(reg, labels, ss.tbl)
 }
 
@@ -91,6 +124,16 @@ func (r *Receiver) registerMetrics() {
 	r.histJitter = reg.NewHistogram(telemetry.Opts{
 		Name:   "softstate_refresh_jitter_seconds",
 		Help:   "Observed interval between successive renewals of one key (refresh jitter; nominally RefreshInterval).",
+		Labels: labels,
+	})
+	r.histHop = reg.NewHistogram(telemetry.Opts{
+		Name:   "softstate_hop_propagation_seconds",
+		Help:   "One-hop propagation latency of traced frames (sender hop stamp to receipt).",
+		Labels: labels,
+	})
+	r.histE2E = reg.NewHistogram(telemetry.Opts{
+		Name:   "softstate_e2e_install_seconds",
+		Help:   "End-to-end install latency of traced triggers (origin stamp to receipt, across all hops).",
 		Labels: labels,
 	})
 	registerTableGauges(reg, labels, r.tbl)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,11 +39,15 @@ type Receiver struct {
 	ctrs   counters
 	closed atomic.Bool
 
-	// Telemetry: trace is the lifecycle tracer (nil-safe), histJitter
-	// exists only when Config.Metrics was set, and measure gates the
-	// clock reads stamping renewal times.
+	// Telemetry: trace is the lifecycle tracer (nil-safe), the histograms
+	// exist only when Config.Metrics was set, and measure gates the
+	// clock reads stamping renewal times. histHop and histE2E are fed by
+	// inbound wire trace contexts: per-hop propagation latency on any
+	// traced frame, end-to-end install latency on traced triggers.
 	trace      *telemetry.Tracer
 	histJitter *telemetry.Histogram
+	histHop    *telemetry.Histogram
+	histE2E    *telemetry.Histogram
 	measure    bool
 
 	events     eventSink
@@ -96,11 +101,27 @@ func NewReceiver(conn net.PacketConn, cfg Config) (*Receiver, error) {
 	}
 	r.measure = cfg.Metrics != nil
 	r.idx.m = make(map[string]map[string]struct{})
-	r.tbl = statetable.New(statetable.Config[receiverEntry]{
+	stcfg := statetable.Config[receiverEntry]{
 		Shards:   cfg.Shards,
 		Clock:    cfg.Clock,
 		OnExpire: r.onTimeout,
-	})
+	}
+	if cfg.Census {
+		// The receiver's held digest: every installed key folds (user key,
+		// value, accepted seq) — the mirror of the sender's intent fold, so
+		// matching sums mean the link converged. Bucketed on the user key:
+		// both ends must place a key in the same bucket for the census
+		// detail round to line their listings up.
+		buckets := cfg.CensusBuckets
+		if buckets <= 0 {
+			buckets = statetable.DefaultDigestBuckets
+		}
+		stcfg.DigestBuckets = buckets
+		stcfg.DigestFunc = func(_ string, e *receiverEntry) (uint32, uint64) {
+			return statetable.DigestBucketOf(e.key, buckets), statetable.DigestKV(e.key, e.value, e.lastSeq)
+		}
+	}
+	r.tbl = statetable.New(stcfg)
 	r.registerMetrics()
 	if cfg.CoalesceAcks {
 		r.acks = newAckBatcher()
@@ -360,9 +381,15 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 				e.peer = from
 				r.idx.add(m.Key, ck)
 				r.trace.Record(telemetry.TraceInstall, m.Key, m.Seq, from)
-				r.emit(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
-			} else if accepted && !bytesEqual(e.value, m.Value) {
-				r.emit(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from})
+				r.emit(Event{Kind: EventInstalled, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from, Trace: m.Trace})
+			} else if accepted {
+				changed := !bytesEqual(e.value, m.Value)
+				if changed {
+					r.emit(Event{Kind: EventUpdated, Key: m.Key, Value: m.Value, Seq: m.Seq, Peer: from, Trace: m.Trace})
+				}
+				if changed || e.lastSeq != m.Seq {
+					tc.MarkDigestDirty() // the census fold covers value and seq
+				}
 			}
 			if accepted {
 				e.lastSeq = m.Seq
@@ -372,6 +399,9 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 						r.histJitter.Observe(now - e.renewedAt)
 					}
 					e.renewedAt = now
+				}
+				if m.Trace.Sampled() {
+					r.observeTrace(m, from)
 				}
 			}
 			e.probeMisses = 0 // any traffic for the key proves liveness
@@ -402,6 +432,10 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 		if r.prof.ReliableRemoval {
 			r.ack(wire.TypeRemovalAck, m.Seq, m.Key, from)
 		}
+	case wire.TypeDigest:
+		// A census audit asks for this receiver's digest of the
+		// requester's keys.
+		r.handleDigest(m, from)
 	case wire.TypeProbeAck:
 		// The key's sender answered a liveness probe: clear the miss
 		// counter and push the next probe a full interval out.
@@ -414,6 +448,107 @@ func (r *Receiver) handle(m wire.Message, from net.Addr) {
 	}
 	// wire.TypeSummaryRefresh never reaches here: the read loop routes it
 	// to handleSummaryFast before the generic decode.
+}
+
+// observeTrace turns an accepted frame's hop-propagated trace context
+// into latency observations: per-hop propagation (send stamp → now) on
+// any traced frame, end-to-end install latency (origin stamp → now) on
+// triggers — a trigger is the propagation wavefront; refreshes only
+// re-measure their own hop. Clock skew can make a wall-clock delta
+// negative across machines; those clamp to zero rather than vanish, so
+// the histogram count still reflects every traced frame.
+func (r *Receiver) observeTrace(m wire.Message, from net.Addr) {
+	now := int64(r.clk.Now().Sub(seqEpoch)) + 1
+	if r.measure {
+		hop := now - m.Trace.HopNs
+		if hop < 0 {
+			hop = 0
+		}
+		r.histHop.Observe(time.Duration(hop))
+		if m.Type == wire.TypeTrigger {
+			e2e := now - m.Trace.OriginNs
+			if e2e < 0 {
+				e2e = 0
+			}
+			r.histE2E.Observe(time.Duration(e2e))
+		}
+	}
+	r.trace.Record(telemetry.TraceHop, m.Key, uint64(m.Trace.Hops), from)
+}
+
+// handleDigest answers a census digest request with this receiver's
+// digest of the requester's keys — scoped to the source address, since
+// digests fold per-(peer, key) entries and the auditing sender compares
+// against its own intent for that one link. A receiver running without
+// Config.Census stays silent: the requester's timeout then reports the
+// link as failed instead of falsely converged.
+func (r *Receiver) handleDigest(m wire.Message, from net.Addr) {
+	n := r.tbl.NumDigestBuckets()
+	if n == 0 {
+		return
+	}
+	req, err := wire.ParseDigestRequest(m.Value)
+	if err != nil {
+		r.ctrs.decodeErrors.Add(1)
+		return
+	}
+	prefix := from.String() + "\x00"
+	switch req.Kind {
+	case wire.DigestSummary:
+		sums := make([]uint64, n)
+		r.tbl.RangeDigest(func(ck string, _ *receiverEntry, bucket uint32, sum uint64) bool {
+			if strings.HasPrefix(ck, prefix) {
+				sums[bucket] ^= sum
+			}
+			return true
+		})
+		val, err := (&wire.DigestReply{Kind: wire.DigestSummary, Sums: sums}).Encode()
+		if err != nil {
+			return
+		}
+		r.send(wire.Message{Type: wire.TypeDigestReply, Seq: m.Seq, Value: val}, from)
+	case wire.DigestDetail:
+		if int(req.Bucket) >= n {
+			return
+		}
+		var keys []wire.DigestKeySum
+		r.tbl.RangeDigest(func(ck string, e *receiverEntry, bucket uint32, sum uint64) bool {
+			if bucket == uint32(req.Bucket) && strings.HasPrefix(ck, prefix) {
+				keys = append(keys, wire.DigestKeySum{Key: e.key, Sum: sum})
+			}
+			return true
+		})
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Key < keys[j].Key })
+		// Chunk the listing to the wire budget, part count declared up
+		// front so the requester knows when the answer is complete. An
+		// empty bucket still answers: one empty part, so a one-sided
+		// divergence (receiver holds nothing) resolves instead of
+		// timing out.
+		chunks := [][]wire.DigestKeySum{}
+		rest := keys
+		for {
+			fit := wire.DigestDetailFits(rest)
+			if fit <= 0 || fit >= len(rest) {
+				chunks = append(chunks, rest)
+				break
+			}
+			chunks = append(chunks, rest[:fit])
+			rest = rest[fit:]
+		}
+		for i, c := range chunks {
+			val, err := (&wire.DigestReply{
+				Kind:   wire.DigestDetail,
+				Bucket: req.Bucket,
+				Part:   uint16(i),
+				Parts:  uint16(len(chunks)),
+				Keys:   c,
+			}).Encode()
+			if err != nil {
+				return
+			}
+			r.send(wire.Message{Type: wire.TypeDigestReply, Seq: m.Seq, Value: val}, from)
+		}
+	}
 }
 
 func (r *Receiver) armTimeout(tc statetable.TimerControl[receiverEntry]) {

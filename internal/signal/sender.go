@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"softstate/internal/statetable"
+	"softstate/internal/telemetry"
 )
 
 // ErrClosed is returned by operations on a closed endpoint.
@@ -76,6 +77,23 @@ func (s *Sender) Update(key string, value []byte) error {
 // removal message is sent (reliably for SS+RTR and HS); otherwise the
 // receiver is left to time the state out.
 func (s *Sender) Remove(key string) error { return s.sess.Remove(key) }
+
+// Session returns the sender's single peer session — the handle for
+// per-peer health estimates (RTT, LossEstimate) and link-scoped census
+// sources.
+func (s *Sender) Session() *Session { return s.sess }
+
+// CensusSource exposes the sender's intent digest as an auditor source
+// (requires Config.Census).
+func (s *Sender) CensusSource(name string) telemetry.CensusSource {
+	return s.ss.CensusSource(name)
+}
+
+// CensusPeer builds an auditor source that audits the remote receiver
+// over the wire digest protocol; see Sessions.CensusPeer.
+func (s *Sender) CensusPeer(name string, timeout time.Duration) telemetry.CensusSource {
+	return s.ss.CensusPeer(name, s.sess.Peer(), timeout)
+}
 
 // Keys returns the keys with live (non-removing) state.
 func (s *Sender) Keys() []string { return s.sess.Keys() }

@@ -61,6 +61,13 @@ type Sessions struct {
 	reapTimer clock.Timer       // idle-peer reaper (virtual mode)
 	evictions telemetry.Counter // idle sessions evicted from the peer table
 
+	// Census exchange plumbing: CensusPeer parks a channel here under its
+	// nonce and the read loop's deliverCensusReply routes digest replies
+	// to it. Nil map until the first exchange; guarded by censusMu.
+	censusMu    sync.Mutex
+	censusCh    map[uint64]chan *wire.DigestReply
+	censusNonce atomic.Uint64
+
 	// sweepSessions caches the id-sorted session list (under sweepMu),
 	// rebuilt only when peersDirty reports the peer table changed — a
 	// session added, reattached, or evicted by the idle reaper all set
@@ -156,6 +163,15 @@ type Session struct {
 	// owning Sessions' sweepMu (sweeps are serialized).
 	sweepDirty atomic.Bool
 	sweepKeys  []string
+
+	// Peer-health estimators: rttNs is a gain-1/8 EWMA of trigger→ack
+	// round trips (0 until the first measured ack; requires
+	// Config.Metrics, which gates the send stamps), trigs counts trigger
+	// transmissions and retxs retransmissions, so
+	// retxs/(trigs+retxs) estimates the loss rate toward this peer.
+	rttNs atomic.Int64
+	trigs atomic.Int64
+	retxs atomic.Int64
 }
 
 // senderEntry tracks one (peer, key)'s signaling state at the sender.
@@ -174,6 +190,12 @@ type senderEntry struct {
 	// a send at virtual time zero still reads as stamped. Written only
 	// when the owning Sessions has metrics enabled; 0 means unstamped.
 	sentAt time.Duration
+
+	// traceCtx is the key's hop-propagated wire trace context: origin
+	// stamp and hop count, set at install time for tracer-sampled keys
+	// (or forwarded from upstream via InstallCtx). HopNs is re-stamped
+	// at every transmission; a zero context sends plain v1 frames.
+	traceCtx wire.TraceContext
 }
 
 // sessionKey prefixes key with the owning session's 4-byte id, giving
@@ -207,11 +229,30 @@ func NewSessions(conn net.PacketConn, cfg Config) *Sessions {
 		trace:  cfg.Trace,
 	}
 	ss.measure = cfg.Metrics != nil
-	ss.tbl = statetable.New(statetable.Config[senderEntry]{
+	stcfg := statetable.Config[senderEntry]{
 		Shards:   cfg.Shards,
 		Clock:    cfg.Clock,
 		OnExpire: ss.onExpire,
-	})
+	}
+	if cfg.Census {
+		// The sender's intent digest: every live (non-removing) key folds
+		// (user key, value, latest trigger seq) — the exact tuple the
+		// downstream receiver folds once the key converges, so matching
+		// sums mean the link has converged.
+		buckets := cfg.CensusBuckets
+		if buckets <= 0 {
+			buckets = statetable.DefaultDigestBuckets
+		}
+		stcfg.DigestBuckets = buckets
+		stcfg.DigestFunc = func(ck string, e *senderEntry) (uint32, uint64) {
+			if e.removing {
+				return 0, 0
+			}
+			k := userKey(ck)
+			return statetable.DigestBucketOf(k, buckets), statetable.DigestKV(k, e.value, e.seq)
+		}
+	}
+	ss.tbl = statetable.New(stcfg)
 	for i := range ss.peers {
 		ss.peers[i].m = make(map[string]*Session)
 	}
@@ -441,7 +482,16 @@ func (s *Session) key(key string) string { return sessionKey(s.id, key) }
 
 // Install installs (or reinstalls) state for key at this peer.
 func (s *Session) Install(key string, value []byte) error {
-	return s.put(key, value, EventInstalled)
+	return s.put(key, value, EventInstalled, wire.TraceContext{})
+}
+
+// InstallCtx installs state for key while forwarding an upstream trace
+// context — the relay path of hop-propagated tracing. The origin stamp
+// passes through unchanged and the hop count increments, so the final
+// receiver can measure the full chain's install latency. A zero fwd is
+// equivalent to Install.
+func (s *Session) InstallCtx(key string, value []byte, fwd wire.TraceContext) error {
+	return s.put(key, value, EventInstalled, fwd)
 }
 
 // Update changes the state value for key; it is an error to update a key
@@ -454,10 +504,46 @@ func (s *Session) Update(key string, value []byte) error {
 	if !known {
 		return fmt.Errorf("signal: update of unknown key %q", key)
 	}
-	return s.put(key, value, EventUpdated)
+	return s.put(key, value, EventUpdated, wire.TraceContext{})
 }
 
-func (s *Session) put(key string, value []byte, kind EventKind) error {
+// traceStamp is the wire trace clock: nanoseconds since the shared
+// sequence epoch, biased +1 so a stamp at virtual time zero is still
+// distinguishable from "untraced" (OriginNs 0 means unsampled).
+func (ss *Sessions) traceStamp() int64 {
+	return int64(ss.clk.Now().Sub(seqEpoch)) + 1
+}
+
+// traceCtxFor derives the wire trace context a (re)install stores on its
+// entry: a forwarded context keeps its origin stamp and gains a hop, a
+// tracer-sampled key starts a fresh wave at hop zero, everything else
+// stays untraced. HopNs is left zero — it is re-stamped per
+// transmission.
+func (ss *Sessions) traceCtxFor(key string, fwd wire.TraceContext) wire.TraceContext {
+	if fwd.Sampled() {
+		hops := fwd.Hops
+		if hops < ^uint8(0) {
+			hops++
+		}
+		return wire.TraceContext{OriginNs: fwd.OriginNs, Hops: hops}
+	}
+	if ss.trace.Sampled(key) {
+		return wire.TraceContext{OriginNs: ss.traceStamp()}
+	}
+	return wire.TraceContext{}
+}
+
+// tracedMsg stamps m with the entry's trace context (HopNs = now) when
+// the key is traced; untraced keys send plain v1 frames.
+func (ss *Sessions) tracedMsg(m wire.Message, ctx wire.TraceContext) wire.Message {
+	if ctx.Sampled() {
+		m.Trace = ctx
+		m.Trace.HopNs = ss.traceStamp()
+	}
+	return m
+}
+
+func (s *Session) put(key string, value []byte, kind EventKind, fwd wire.TraceContext) error {
 	if len(key) > wire.MaxKeyLen || len(value) > wire.MaxValueLen {
 		return wire.ErrTooLarge
 	}
@@ -494,14 +580,19 @@ func (s *Session) put(key string, value []byte, kind EventKind) error {
 		e.removing = false
 		e.retries = 0
 		e.seq = s.seq.Add(1)
+		e.traceCtx = ss.traceCtxFor(key, fwd)
+		if !created {
+			tc.MarkDigestDirty() // value/seq changed under the shard lock
+		}
 		if ss.measure {
 			e.sentAt = ss.clk.Since(ss.born) + 1
 		}
-		ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, s.peer)
+		s.trigs.Add(1)
+		ss.send(ss.tracedMsg(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, e.traceCtx), s.peer)
 		ss.trace.Record(telemetry.TraceTrigger, key, e.seq, s.peer)
 		ss.armTriggerRetx(tc)
 		ss.armRefresh(tc)
-		ss.emit(Event{Kind: kind, Key: key, Value: e.value, Seq: e.seq, Peer: s.peer})
+		ss.emit(Event{Kind: kind, Key: key, Value: e.value, Seq: e.seq, Peer: s.peer, Trace: e.traceCtx})
 	})
 	if err == nil && s.gone.Load() {
 		ss.reattach(s)
@@ -544,6 +635,7 @@ func (s *Session) Remove(key string) error {
 		e.removalSeq = s.seq.Add(1)
 		e.retries = 0
 		e.value = nil
+		tc.MarkDigestDirty() // removing entries leave the census digest
 		if ss.measure {
 			e.sentAt = ss.clk.Since(ss.born) + 1
 		}
@@ -648,7 +740,18 @@ func (ss *Sessions) onExpire(ck string, kind statetable.TimerKind, e *senderEntr
 		if e.removing {
 			return
 		}
-		ss.send(wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: key, Value: e.value}, e.sess.peer)
+		msg := wire.Message{Type: wire.TypeRefresh, Seq: e.seq, Key: key, Value: e.value}
+		if e.traceCtx.Sampled() && e.traceCtx.Hops == 0 {
+			// A locally-originated traced key starts a fresh propagation
+			// wave on every refresh: new origin stamp, hop zero, so the
+			// chain's steady-state refresh latency keeps being measured.
+			// Forwarded keys (hops > 0) refresh untraced — relays refresh
+			// independently, so re-propagating a stale origin stamp would
+			// record chain latencies that never happened.
+			e.traceCtx = wire.TraceContext{OriginNs: ss.traceStamp()}
+			msg = ss.tracedMsg(msg, e.traceCtx)
+		}
+		ss.send(msg, e.sess.peer)
 		ss.trace.Record(telemetry.TraceRefresh, key, e.seq, e.sess.peer)
 		ss.armRefresh(tc)
 	case timerRetx:
@@ -669,7 +772,11 @@ func (ss *Sessions) triggerRetx(key string, e *senderEntry, tc statetable.TimerC
 		return
 	}
 	e.retries++
-	ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, e.sess.peer)
+	e.sess.retxs.Add(1)
+	// Retransmits keep the stored origin stamp (HopNs re-stamped), so the
+	// measured end-to-end latency includes retransmission delay — exactly
+	// the loss sensitivity the paper's install-latency curves show.
+	ss.send(ss.tracedMsg(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, e.traceCtx), e.sess.peer)
 	ss.trace.Record(telemetry.TraceRetransmit, key, e.seq, e.sess.peer)
 	tc.Schedule(timerRetx, ss.retxDelay(e.retries))
 }
@@ -683,6 +790,7 @@ func (ss *Sessions) removalRetx(key string, e *senderEntry, tc statetable.TimerC
 		return
 	}
 	e.retries++
+	e.sess.retxs.Add(1)
 	ss.send(wire.Message{Type: wire.TypeRemoval, Seq: e.removalSeq, Key: key}, e.sess.peer)
 	ss.trace.Record(telemetry.TraceRetransmit, key, e.removalSeq, e.sess.peer)
 	tc.Schedule(timerRetx, ss.retxDelay(e.retries))
@@ -849,6 +957,10 @@ func (s *Session) Handle(m wire.Message) {
 		// own this key. Answer only if we do: silence is what lets a dead
 		// (or withdrawn) sender's state be cleaned up.
 		s.handleProbe(m.Seq, m.Key)
+	case wire.TypeDigestReply:
+		// A census answer from this peer's receiver: route it to the
+		// waiting CensusPeer exchange, if any.
+		ss.deliverCensusReply(m)
 	}
 }
 
@@ -876,7 +988,15 @@ func (s *Session) handleAck(seq uint64, key string) {
 			tc.Cancel(timerRetx)
 			e.retries = 0
 			if ss.measure && e.sentAt > 0 {
-				ss.histInstallAck.Observe(ss.clk.Since(ss.born) + 1 - e.sentAt)
+				d := ss.clk.Since(ss.born) + 1 - e.sentAt
+				ss.histInstallAck.Observe(d)
+				// Gain-1/8 EWMA of the trigger→ack round trip, the
+				// per-peer health estimate behind the RTT gauge.
+				if old := s.rttNs.Load(); old == 0 {
+					s.rttNs.Store(int64(d))
+				} else {
+					s.rttNs.Store(old + (int64(d)-old)/8)
+				}
 				e.sentAt = 0
 			}
 			ss.trace.Record(telemetry.TraceAck, key, e.seq, s.peer)
@@ -1011,10 +1131,16 @@ func (s *Session) retrigger(key string) {
 		}
 		e.seq = s.seq.Add(1)
 		e.retries = 0
+		// A repair is a fresh wave even for keys first installed via a
+		// forwarded context: the upstream stamp described the original
+		// propagation, not this re-trigger.
+		e.traceCtx = ss.traceCtxFor(key, wire.TraceContext{})
+		tc.MarkDigestDirty() // seq changed under the shard lock
 		if ss.measure {
 			e.sentAt = ss.clk.Since(ss.born) + 1
 		}
-		ss.send(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, s.peer)
+		s.trigs.Add(1)
+		ss.send(ss.tracedMsg(wire.Message{Type: wire.TypeTrigger, Seq: e.seq, Key: key, Value: e.value}, e.traceCtx), s.peer)
 		ss.trace.Record(telemetry.TraceTrigger, key, e.seq, s.peer)
 		ss.armTriggerRetx(tc)
 		ss.armRefresh(tc)

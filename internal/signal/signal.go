@@ -153,7 +153,29 @@ type Config struct {
 	// summary, expiry, orphan, removal). Under a virtual clock the
 	// recorded stream is deterministic across same-seed runs. A nil
 	// tracer costs one predictable branch per step.
+	//
+	// With a tracer set, senders additionally stamp the tracer-sampled
+	// keys' triggers and refreshes with a hop-propagated wire trace
+	// context (wire.VersionExt frames): receivers turn the stamps into
+	// per-hop and end-to-end propagation histograms, and relays
+	// propagate the context downstream so a key's install latency is
+	// measured across the whole chain. Sampling follows
+	// Tracer.Sampled, so Config.Trace with TracerConfig.SampleEvery is
+	// the one knob for both the ring and the wire overhead.
 	Trace *telemetry.Tracer
+	// Census, when true, maintains incremental per-bucket state digests
+	// on the endpoint's table (senders fold each live key's
+	// (key, value, seq); receivers fold (key, value, lastSeq)) and, on
+	// receivers, answers wire digest requests — the convergence
+	// auditor's data plane. Digest upkeep is O(1) per mutation and
+	// allocation-free; reads are O(buckets). Off by default: the hot
+	// path then carries no digest work at all.
+	Census bool
+	// CensusBuckets is the digest bucket count
+	// (statetable.DefaultDigestBuckets when 0). Both ends of an audited
+	// link must agree on it, or the census reports a bucket-count
+	// mismatch.
+	CensusBuckets int
 }
 
 // DefaultConfig returns the paper's deployed-protocol defaults: R = 5 s,
@@ -281,6 +303,11 @@ type Event struct {
 	// without a peer (e.g. receiver expiry of state whose sender address
 	// was never learned).
 	Peer net.Addr
+	// Trace is the hop-propagated trace context carried by the datagram
+	// that caused the event (zero when untraced). Relays forward it
+	// downstream via Session.InstallCtx, so the origin stamp survives
+	// the whole chain.
+	Trace wire.TraceContext
 }
 
 // Stats counts runtime message activity.

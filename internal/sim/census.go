@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"softstate/internal/clock"
+	"softstate/internal/lossy"
+	livenode "softstate/internal/node"
+	"softstate/internal/rand"
+	"softstate/internal/signal"
+	"softstate/internal/telemetry"
+	"softstate/internal/variant"
+)
+
+// This file runs the convergence auditor against the live chain in
+// virtual time: a node.Chain under churn and loss, with a periodic
+// census (telemetry.RunCensus over Chain.CensusLinks) comparing each
+// hop's intended state against what the next hop actually holds. The
+// run therefore measures divergence twice, independently: the auditor
+// reads it from the state-table digests, and the paper-metric estimator
+// infers it from the origin's event stream — the artifact's agreement
+// check is that the two observers tell the same story per protocol.
+
+// CensusConfig parameterizes one audited chain run.
+type CensusConfig struct {
+	// Protocol selects the mechanism bundle.
+	Protocol signal.Protocol
+	// Hops is the number of state-holding links (a chain of Hops+1
+	// nodes, so Hops census links). Default 1.
+	Hops int
+	// Keys is the number of concurrently signaled keys.
+	Keys int
+	// Loss, Delay, Jitter impair every link.
+	Loss   float64
+	Delay  time.Duration
+	Jitter time.Duration
+	// RefreshInterval, Timeout, Retransmit are the protocol timers
+	// (defaults as LiveConfig: R = 100 ms, T = 3R, Γ = 25 ms).
+	RefreshInterval time.Duration
+	Timeout         time.Duration
+	Retransmit      time.Duration
+	// MeanLifetime and MeanGap churn keys exactly as LiveConfig does.
+	MeanLifetime time.Duration
+	MeanGap      time.Duration
+	// CensusInterval is the audit period (default RefreshInterval).
+	CensusInterval time.Duration
+	// Sample is the end-to-end intent sampling period (default R/2).
+	Sample time.Duration
+	// Duration is the churned, measured window (default 30 s).
+	Duration time.Duration
+	// Quiesce is the settle window after churn and measurement stop,
+	// before the final census. Silent soft-state removals cascade one
+	// state-timeout per hop, so the default is (Hops+2) × Timeout.
+	Quiesce time.Duration
+	// Shards is the per-endpoint state-table shard count (default 4).
+	Shards int
+	// Seed makes the run reproducible; equal seeds produce byte-identical
+	// CensusResults.
+	Seed uint64
+	// Metrics optionally instruments every endpoint; pure observer.
+	Metrics *telemetry.Registry
+	// TraceSampleEvery, when > 0, installs a shared hop-propagation
+	// tracer on every endpoint sampling 1-in-N keys (1 = every key), so
+	// the run populates the softstate_hop_propagation_seconds and
+	// softstate_e2e_install_seconds histograms on Metrics. Pure observer:
+	// results are identical with tracing off.
+	TraceSampleEvery int
+}
+
+func (cfg *CensusConfig) applyDefaults() error {
+	if cfg.Hops <= 0 {
+		cfg.Hops = 1
+	}
+	if cfg.Keys <= 0 {
+		return fmt.Errorf("sim: census run needs Keys > 0")
+	}
+	if cfg.RefreshInterval <= 0 {
+		cfg.RefreshInterval = 100 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 3 * cfg.RefreshInterval
+	}
+	if cfg.Retransmit <= 0 {
+		cfg.Retransmit = 25 * time.Millisecond
+	}
+	if cfg.CensusInterval <= 0 {
+		cfg.CensusInterval = cfg.RefreshInterval
+	}
+	if cfg.Sample <= 0 {
+		cfg.Sample = cfg.RefreshInterval / 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.Quiesce <= 0 {
+		cfg.Quiesce = time.Duration(cfg.Hops+2) * cfg.Timeout
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5057a7e
+	}
+	return nil
+}
+
+// CensusResult aggregates one audited run. Every field is a pure
+// function of the CensusConfig, so reflect.DeepEqual across same-seed
+// runs is the determinism check.
+type CensusResult struct {
+	Protocol signal.Protocol
+	Hops     int
+	Keys     int
+	Loss     float64
+
+	// Censuses is the number of periodic audit rounds that ran during
+	// the measured window (all of them over every link).
+	Censuses int
+	// DivergentKeySamples totals divergent keys across all rounds and
+	// links; AuditedDivergence normalizes it by Censuses × Hops × Keys —
+	// the auditor's estimate of the per-link, per-key probability of
+	// divergence at a random instant.
+	DivergentKeySamples int
+	AuditedDivergence   float64
+	// Hop1Divergence is the same normalization restricted to the first
+	// link — the quantity the origin's paper-metric estimator also sees.
+	Hop1DivergentSamples int
+	Hop1Divergence       float64
+	// MaxDivergent is the worst single round's total divergent keys.
+	MaxDivergent int
+	// EstimatedInconsistency is the origin link's paper-metric estimate
+	// (event-stream derived, no table reads) at the end of the measured
+	// window — the auditor-independent observer.
+	EstimatedInconsistency float64
+	// Drained reports whether any census during the churn-free quiesce
+	// window read fully converged. Note this is deliberately not "the
+	// last census was clean": under loss, pure soft state is only ever
+	// eventually consistent — a refresh-loss streak can expire a live
+	// key at any instant, census included, and that divergence is real,
+	// not an auditor artifact. A protocol bug (leaked or immortal state)
+	// shows up as a quiesce window that never once reads converged.
+	Drained bool
+	// QuiesceCensuses counts the audit rounds run during the quiesce
+	// window; FinalDivergent is the last round's divergent-key total.
+	QuiesceCensuses int
+	FinalDivergent  int
+
+	// Inconsistency is the tail-sampled end-to-end I (as LiveResult),
+	// measured during the churned window only.
+	Inconsistency       float64
+	Samples             int
+	InconsistentSamples int
+
+	// KeyEvents counts installs + removals driven; Datagrams counts every
+	// datagram sent by every endpoint during the whole run (quiesce
+	// included).
+	KeyEvents int
+	Datagrams int
+	// VirtualSeconds is the measured (pre-quiesce) duration.
+	VirtualSeconds float64
+}
+
+// RunCensusAudit executes one audited chain experiment on the real
+// runtime in virtual time.
+func RunCensusAudit(cfg CensusConfig) (CensusResult, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return CensusResult{}, err
+	}
+	v := clock.NewVirtual()
+	scfg := signal.Config{
+		Protocol:        cfg.Protocol,
+		RefreshInterval: cfg.RefreshInterval,
+		Timeout:         cfg.Timeout,
+		Retransmit:      cfg.Retransmit,
+		Shards:          cfg.Shards,
+		Clock:           v,
+		Census:          true,
+		Metrics:         cfg.Metrics,
+	}
+	if cfg.Metrics != nil {
+		scfg.MetricsLabels = telemetry.Labels{
+			"protocol": variant.For(cfg.Protocol).Name,
+			"topology": "chain",
+		}
+	}
+	if cfg.TraceSampleEvery > 0 {
+		scfg.Trace = telemetry.NewTracer(telemetry.TracerConfig{
+			SampleEvery: uint32(cfg.TraceSampleEvery),
+			Clock:       v,
+		})
+	}
+
+	// The origin link's independent observer: the paper-metric estimator
+	// fed from the origin sender's events only. The chain's first-hop
+	// address is only known after construction, so the filter closure
+	// late-binds it; the hook must be in place before the endpoints start.
+	var chainStats func() int64
+	pm := telemetry.NewPaperMetrics(telemetry.PaperConfig{
+		Clock:       v,
+		AckExpected: variant.For(cfg.Protocol).ReliableTrigger,
+		Sent: func() int64 {
+			if chainStats != nil {
+				return chainStats()
+			}
+			return 0
+		},
+	})
+	var originPeer string
+	hook := paperHook(pm)
+	scfg.OnEvent = func(ev signal.Event) {
+		if ev.Peer != nil && ev.Peer.String() == originPeer {
+			hook(ev)
+		}
+	}
+
+	link := lossy.Config{
+		Loss:   cfg.Loss,
+		Delay:  cfg.Delay,
+		Jitter: cfg.Jitter,
+		Seed:   cfg.Seed ^ 0x11ce,
+		Clock:  v,
+	}
+	c, err := livenode.NewChain(cfg.Hops+1, scfg, link)
+	if err != nil {
+		return CensusResult{}, err
+	}
+	defer c.Close()
+	// Identify the origin's (sole) downstream peer by installing nothing
+	// yet: the first hop's upstream address is what Chain.Install targets,
+	// and the origin's sender events carry it as Event.Peer.
+	originPeer = c.FirstHop().String()
+	links := c.CensusLinks()
+	chainStats = func() int64 {
+		var n int64
+		for _, st := range chainAllStats(c) {
+			n += int64(st.TotalSent())
+		}
+		return n
+	}
+
+	res := CensusResult{
+		Protocol: cfg.Protocol, Hops: cfg.Hops, Keys: cfg.Keys, Loss: cfg.Loss,
+	}
+	rng := rand.NewSource(cfg.Seed)
+	intent := make([][]byte, cfg.Keys)
+	version := make([]int, cfg.Keys)
+	keyName := func(k int) string { return fmt.Sprintf("flow/%05d", k) }
+	expDelay := func(mean time.Duration) time.Duration {
+		return time.Duration(rng.Exp(mean.Seconds()) * float64(time.Second))
+	}
+
+	// Workload: LiveConfig's staggered install + exponential churn, with
+	// an `active` latch so the quiesce window runs churn-free (callbacks
+	// scheduled before the latch flips simply return).
+	active := true
+	var churn func(k int)
+	doInstall := func(k int) {
+		if !active {
+			return
+		}
+		val := []byte(fmt.Sprintf("v%d.%d", k, version[k]))
+		version[k]++
+		if c.Install(keyName(k), val) == nil {
+			intent[k] = val
+			res.KeyEvents++
+		}
+		churn(k)
+	}
+	churn = func(k int) {
+		if cfg.MeanLifetime <= 0 {
+			return
+		}
+		v.AfterFunc(expDelay(cfg.MeanLifetime), func() {
+			if !active || intent[k] == nil {
+				return
+			}
+			if c.Remove(keyName(k)) == nil {
+				intent[k] = nil
+				res.KeyEvents++
+			}
+			if cfg.MeanGap > 0 {
+				v.AfterFunc(expDelay(cfg.MeanGap), func() { doInstall(k) })
+			}
+		})
+	}
+	for k := 0; k < cfg.Keys; k++ {
+		k := k
+		v.AfterFunc(time.Duration(k)*cfg.RefreshInterval/time.Duration(cfg.Keys),
+			func() { doInstall(k) })
+	}
+
+	// The periodic census: every CensusInterval, audit all links and
+	// accumulate the divergence counts. Census callbacks run with the
+	// virtual clock held, so the digests they read are a consistent
+	// snapshot of a single instant. During the quiesce window the rounds
+	// keep running but only feed the drain check.
+	var census func()
+	census = func() {
+		rep := telemetry.RunCensus(links)
+		if !active {
+			res.QuiesceCensuses++
+			res.FinalDivergent = rep.Divergent
+			if rep.Converged() {
+				res.Drained = true
+			}
+		} else if rep.Failed == 0 {
+			res.Censuses++
+			res.DivergentKeySamples += rep.Divergent
+			res.Hop1DivergentSamples += len(rep.Links[0].Divergent)
+			if rep.Divergent > res.MaxDivergent {
+				res.MaxDivergent = rep.Divergent
+			}
+		}
+		v.AfterFunc(cfg.CensusInterval, census)
+	}
+	v.AfterFunc(cfg.CensusInterval, census)
+
+	// End-to-end intent sampling at the tail, as RunLive.
+	var sample func()
+	sample = func() {
+		if !active {
+			return
+		}
+		for k := 0; k < cfg.Keys; k++ {
+			want := intent[k]
+			got, ok := c.Tail.Get(keyName(k))
+			res.Samples++
+			if ok != (want != nil) || (ok && !bytes.Equal(got, want)) {
+				res.InconsistentSamples++
+			}
+		}
+		v.AfterFunc(cfg.Sample, sample)
+	}
+	v.AfterFunc(cfg.Sample, sample)
+
+	v.Run(cfg.Duration)
+	// Close the measured window before the quiesce run: the estimator and
+	// the sampled I both describe the churned interval only.
+	res.EstimatedInconsistency = pm.Inconsistency()
+	active = false
+	v.Run(cfg.Quiesce)
+
+	if res.Censuses > 0 {
+		denom := float64(res.Censuses) * float64(cfg.Hops) * float64(cfg.Keys)
+		res.AuditedDivergence = float64(res.DivergentKeySamples) / denom
+		res.Hop1Divergence = float64(res.Hop1DivergentSamples) /
+			(float64(res.Censuses) * float64(cfg.Keys))
+	}
+	if res.Samples > 0 {
+		res.Inconsistency = float64(res.InconsistentSamples) / float64(res.Samples)
+	}
+	for _, st := range chainAllStats(c) {
+		res.Datagrams += st.TotalSent()
+	}
+	res.VirtualSeconds = cfg.Duration.Seconds()
+	return res, nil
+}
+
+// chainAllStats snapshots every endpoint's counters, origin to tail.
+func chainAllStats(c *livenode.Chain) []signal.Stats {
+	out := []signal.Stats{c.Origin.Stats()}
+	for _, r := range c.Relays {
+		out = append(out, r.Receiver().Stats(), r.Downstream().Stats())
+	}
+	out = append(out, c.Tail.Stats())
+	return out
+}
+
+// RunCensusVariants audits the same chain workload once per paper
+// protocol, in presentation order, sharing base's seed so all five face
+// byte-identical churn.
+func RunCensusVariants(base CensusConfig) ([]CensusResult, error) {
+	profiles := variant.All()
+	out := make([]CensusResult, 0, len(profiles))
+	for _, prof := range profiles {
+		cfg := base
+		cfg.Protocol = prof.Proto
+		r, err := RunCensusAudit(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s census run: %w", prof, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -38,6 +38,14 @@ const DefaultShards = 16
 // fire within about one tick of their deadline.
 const DefaultTick = time.Millisecond
 
+// DefaultDigestBuckets is the digest bucket count used when
+// Config.DigestBuckets is 0 and a DigestFunc is set.
+const DefaultDigestBuckets = 16
+
+// digDropped marks an entry already removed from its shard, so a
+// deferred digest refresh cannot resurrect its contribution.
+const digDropped = ^uint32(0)
+
 // ExpireFunc is called when a timer fires. It runs on the shard's wheel
 // goroutine with the shard locked; use tc to reschedule, cancel, or delete,
 // and do not call Table methods from inside it.
@@ -61,13 +69,32 @@ type Config[V any] struct {
 	// table holds millions of deadlines with zero goroutines and zero wall
 	// sleeps.
 	Clock clock.Clock
+	// DigestFunc, when non-nil, turns on incremental table digests — the
+	// convergence auditor's substrate. It maps an entry to its digest
+	// bucket and 64-bit contribution (sum 0 excludes the entry); the
+	// table XOR-folds contributions into per-shard, per-bucket arrays on
+	// every mutation, so reading the whole table's digest is O(shards ×
+	// buckets) regardless of entry count. The function runs under the
+	// shard lock and must be pure. Because the table cannot see inside V,
+	// closures that change an entry's digest-relevant payload must call
+	// TimerControl.MarkDigestDirty; inserts and deletes are tracked
+	// automatically.
+	DigestFunc func(key string, v *V) (bucket uint32, sum uint64)
+	// DigestBuckets is the digest bucket count (DefaultDigestBuckets
+	// when 0; capped at 1<<16). More buckets localize a divergence to
+	// fewer keys at census time.
+	DigestBuckets int
 }
 
-// entry is one key's slot: the caller's value plus the embedded timers.
+// entry is one key's slot: the caller's value plus the embedded timers
+// and its cached digest contribution (bucket index and XOR-folded sum),
+// which is what lets a mutation update the shard digest in O(1).
 type entry[V any] struct {
-	key    string
-	value  V
-	timers [NumTimerKinds]timerNode[V]
+	key       string
+	value     V
+	dig       uint64
+	digBucket uint32
+	timers    [NumTimerKinds]timerNode[V]
 }
 
 // shard is one lock domain: a map partition plus its timing wheel.
@@ -80,6 +107,8 @@ type shard[V any] struct {
 	pokeTick int64 // earliest such deadline (virtual mode reschedules to it)
 	wake     chan struct{}
 	vtimer   clock.Timer // virtual mode: drives this shard's wheel advances
+	dig      []uint64    // per-bucket XOR of entry contributions (digests on)
+	digDirty bool        // the entry under mutation changed its payload
 }
 
 // Table is the sharded soft-state table. All methods are safe for
@@ -112,6 +141,14 @@ func New[V any](cfg Config[V]) *Table[V] {
 	if tick <= 0 {
 		tick = DefaultTick
 	}
+	if cfg.DigestFunc != nil {
+		if cfg.DigestBuckets <= 0 {
+			cfg.DigestBuckets = DefaultDigestBuckets
+		}
+		if cfg.DigestBuckets > 1<<16 {
+			cfg.DigestBuckets = 1 << 16
+		}
+	}
 	clk := clock.Or(cfg.Clock)
 	t := &Table[V]{
 		cfg:     cfg,
@@ -128,6 +165,9 @@ func New[V any](cfg Config[V]) *Table[V] {
 		sh.entries = make(map[string]*entry[V])
 		sh.nextWake = int64(1)<<62 - 1
 		sh.wake = make(chan struct{}, 1)
+		if cfg.DigestFunc != nil {
+			sh.dig = make([]uint64, cfg.DigestBuckets)
+		}
 		if t.virtual {
 			// Event-driven: the clock calls fireShard at each due tick; no
 			// goroutine, no sleeps. The timer is armed by unlockAndPoke the
@@ -251,6 +291,9 @@ func (t *Table[V]) Upsert(key string, fn func(v *V, created bool, tc TimerContro
 	if fn != nil {
 		fn(&e.value, !ok, TimerControl[V]{t: t, sh: sh, e: e})
 	}
+	if t.cfg.DigestFunc != nil && (!ok || sh.digDirty) {
+		t.refreshDigestLocked(sh, e)
+	}
 	t.unlockAndPoke(sh)
 }
 
@@ -262,6 +305,9 @@ func (t *Table[V]) Update(key string, fn func(v *V, tc TimerControl[V])) bool {
 	e, ok := sh.entries[key]
 	if ok && fn != nil {
 		fn(&e.value, TimerControl[V]{t: t, sh: sh, e: e})
+		if sh.digDirty {
+			t.refreshDigestLocked(sh, e)
+		}
 	}
 	t.unlockAndPoke(sh)
 	return ok
@@ -277,6 +323,9 @@ func (t *Table[V]) UpdateBytes(key []byte, fn func(v *V, tc TimerControl[V])) bo
 	e, ok := sh.entries[string(key)]
 	if ok && fn != nil {
 		fn(&e.value, TimerControl[V]{t: t, sh: sh, e: e})
+		if sh.digDirty {
+			t.refreshDigestLocked(sh, e)
+		}
 	}
 	t.unlockAndPoke(sh)
 	return ok
@@ -379,6 +428,104 @@ func (t *Table[V]) TimersArmed() [NumTimerKinds]int {
 	return n
 }
 
+// NumDigestBuckets returns the digest bucket count, or 0 when the table
+// maintains no digests.
+func (t *Table[V]) NumDigestBuckets() int {
+	if t.cfg.DigestFunc == nil {
+		return 0
+	}
+	return t.cfg.DigestBuckets
+}
+
+// DigestSums returns the table's per-bucket digest sums — the XOR across
+// shards of every entry's contribution. O(shards × buckets), independent
+// of entry count; nil when the table maintains no digests. Two tables
+// using the same DigestFunc semantics hold the same state iff their sums
+// match bucket for bucket (modulo XOR collisions, which a 64-bit fold
+// makes negligible).
+func (t *Table[V]) DigestSums() []uint64 {
+	if t.cfg.DigestFunc == nil {
+		return nil
+	}
+	out := make([]uint64, t.cfg.DigestBuckets)
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for b, s := range sh.dig {
+			out[b] ^= s
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// RangeDigest calls fn for every entry with a nonzero cached digest
+// contribution, one shard lock at a time — the census detail round's
+// walk. Like Range, fn must not call Table methods.
+func (t *Table[V]) RangeDigest(fn func(key string, v *V, bucket uint32, sum uint64) bool) {
+	if t.cfg.DigestFunc == nil {
+		return
+	}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.entries {
+			if e.dig == 0 {
+				continue
+			}
+			if !fn(e.key, &e.value, e.digBucket, e.dig) {
+				sh.mu.Unlock()
+				return
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// DigestKV is the runtime's canonical digest fold: FNV-1a over the key
+// (length-prefixed), the value bytes, and the sequence number. Both ends
+// of a signaling link digest (user key, installed value, accepted seq)
+// with it, which is what makes their table digests comparable. The
+// result is never 0 (0 means "entry excluded" to the digest machinery).
+func DigestKV(key string, value []byte, seq uint64) uint64 {
+	const (
+		offset64 = 14695981039346269563
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	// Length prefix keeps (key, value) boundaries unambiguous.
+	for n := uint(0); n < 64; n += 8 {
+		h ^= uint64(len(key)) >> n & 0xFF
+		h *= prime64
+	}
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	for i := 0; i < len(value); i++ {
+		h ^= uint64(value[i])
+		h *= prime64
+	}
+	for n := uint(0); n < 64; n += 8 {
+		h ^= seq >> n & 0xFF
+		h *= prime64
+	}
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
+// DigestBucketOf maps a key to its digest bucket — shared by every
+// digest-maintaining table so the same user key lands in the same
+// bucket on both ends of a link regardless of table-internal prefixes.
+func DigestBucketOf(key string, buckets int) uint32 {
+	if buckets <= 0 {
+		return 0
+	}
+	return Hash32(key) % uint32(buckets)
+}
+
 // Keys returns all keys in no particular order.
 func (t *Table[V]) Keys() []string {
 	out := make([]string, 0, t.Len())
@@ -394,8 +541,31 @@ func (t *Table[V]) dropLocked(sh *shard[V], e *entry[V]) {
 	for i := range e.timers {
 		sh.wheel.cancel(&e.timers[i])
 	}
+	if t.cfg.DigestFunc != nil && e.digBucket != digDropped {
+		sh.dig[e.digBucket] ^= e.dig
+		e.dig = 0
+		e.digBucket = digDropped // a pending dirty refresh must not resurrect it
+		sh.digDirty = false
+	}
 	delete(sh.entries, e.key)
 	t.size.Add(-1)
+}
+
+// refreshDigestLocked re-derives e's digest contribution and swaps it
+// into the shard's bucket array; callers hold sh.mu. XOR makes the swap
+// order-free: the stale contribution cancels itself out.
+func (t *Table[V]) refreshDigestLocked(sh *shard[V], e *entry[V]) {
+	sh.digDirty = false
+	if e.digBucket == digDropped {
+		return
+	}
+	bucket, sum := t.cfg.DigestFunc(e.key, &e.value)
+	if bucket >= uint32(len(sh.dig)) {
+		bucket %= uint32(len(sh.dig))
+	}
+	sh.dig[e.digBucket] ^= e.dig
+	sh.dig[bucket] ^= sum
+	e.dig, e.digBucket = sum, bucket
 }
 
 // unlockAndPoke releases the shard and wakes its wheel driver if an
@@ -467,6 +637,17 @@ func (tc TimerControl[V]) Delete() {
 	tc.t.dropLocked(tc.sh, tc.e)
 }
 
+// MarkDigestDirty tells a digest-maintaining table that the closure (or
+// expiry callback) changed the entry's digest-relevant payload, so its
+// contribution is re-derived when the mutation completes. Mutations
+// that only touch timers or bookkeeping skip the call and cost nothing.
+// A no-op when the table has no DigestFunc.
+func (tc TimerControl[V]) MarkDigestDirty() {
+	if tc.t.cfg.DigestFunc != nil {
+		tc.sh.digDirty = true
+	}
+}
+
 // advanceLocked moves the shard's wheel to the current tick and runs the
 // expiry callbacks of everything due; callers hold sh.mu. It then records
 // the shard's next wake tick and returns the wall-clock wait until it (0
@@ -484,6 +665,9 @@ func (t *Table[V]) advanceLocked(sh *shard[V]) (wait time.Duration, idle bool) {
 		if t.cfg.OnExpire != nil {
 			e := n.owner
 			t.cfg.OnExpire(e.key, n.kind, &e.value, TimerControl[V]{t: t, sh: sh, e: e})
+			if sh.digDirty {
+				t.refreshDigestLocked(sh, e)
+			}
 		}
 	}
 	idle = sh.wheel.count == 0

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterProcessMetrics adds process self-metrics to a registry:
+//
+//	process_uptime_seconds         seconds since registration
+//	process_goroutines             live goroutine count
+//	process_heap_inuse_bytes       runtime.MemStats.HeapInuse
+//	process_heap_objects           runtime.MemStats.HeapObjects
+//	process_gc_cycles_total        completed GC cycles
+//
+// Everything is computed at scrape time (runtime.ReadMemStats per
+// scrape), so an idle process pays nothing between scrapes. These read
+// the real runtime regardless of any virtual clock — they describe the
+// process, not the simulation — so they are excluded from deterministic
+// artifact comparisons.
+func RegisterProcessMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	start := time.Now()
+	r.GaugeFunc(Opts{
+		Name: "process_uptime_seconds",
+		Help: "Seconds since process metrics were registered.",
+	}, func() float64 { return time.Since(start).Seconds() })
+	r.GaugeFunc(Opts{
+		Name: "process_goroutines",
+		Help: "Live goroutine count.",
+	}, func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc(Opts{
+		Name: "process_heap_inuse_bytes",
+		Help: "Bytes in in-use heap spans (runtime.MemStats.HeapInuse).",
+	}, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapInuse)
+	})
+	r.GaugeFunc(Opts{
+		Name: "process_heap_objects",
+		Help: "Live heap objects (runtime.MemStats.HeapObjects).",
+	}, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.HeapObjects)
+	})
+	r.GaugeFunc(Opts{
+		Name: "process_gc_cycles_total",
+		Help: "Completed garbage collection cycles.",
+	}, func() float64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return float64(ms.NumGC)
+	})
+}

@@ -323,7 +323,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(&b, "%s %d\n",
 				withLabel(s.Name+"_bucket", bucketID, "le", formatFloat(float64(bk.UpperNs)/1e9)), cum)
 		}
-		fmt.Fprintf(&b, "%s %d\n", withLabel(s.Name+"_bucket", bucketID, "le", "+Inf"), s.Hist.Count)
+		// A scrape racing Observe can see a bucket increment before the
+		// matching count increment; clamp +Inf so the series stays
+		// cumulative-monotonic (a Prometheus format requirement).
+		inf := s.Hist.Count
+		if cum > inf {
+			inf = cum
+		}
+		fmt.Fprintf(&b, "%s %d\n", withLabel(s.Name+"_bucket", bucketID, "le", "+Inf"), inf)
 		fmt.Fprintf(&b, "%s %s\n", renameSeries(s.ID, s.Name, s.Name+"_sum"),
 			formatFloat(float64(s.Hist.SumNs)/1e9))
 		fmt.Fprintf(&b, "%s %d\n", renameSeries(s.ID, s.Name, s.Name+"_count"), s.Hist.Count)

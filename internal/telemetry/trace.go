@@ -37,6 +37,9 @@ const (
 	TraceOrphan
 	// TraceRemoval: state was removed by explicit signaling (either role).
 	TraceRemoval
+	// TraceHop: a datagram carrying a hop-propagated trace context
+	// arrived (Seq carries the hop count).
+	TraceHop
 )
 
 // String implements fmt.Stringer.
@@ -60,6 +63,8 @@ func (k TraceKind) String() string {
 		return "orphan"
 	case TraceRemoval:
 		return "removal"
+	case TraceHop:
+		return "hop"
 	default:
 		return "unknown"
 	}
@@ -135,6 +140,18 @@ func NewTracer(cfg TracerConfig) *Tracer {
 		sink:   cfg.Sink,
 		ring:   make([]TraceEvent, cfg.Capacity),
 	}
+}
+
+// Sampled reports whether events for key would be recorded — the
+// predicate the signaling layer uses to decide whether to stamp an
+// outgoing datagram with a trace context, so wire-level trace sampling
+// follows the tracer's own by-key sampling. Nil-safe: a nil tracer
+// samples nothing.
+func (t *Tracer) Sampled(key string) bool {
+	if t == nil {
+		return false
+	}
+	return t.sample <= 1 || key == "" || keyHash(key)%t.sample == 0
 }
 
 // keyHash is FNV-1a, inlined so the tracer needs no other runtime

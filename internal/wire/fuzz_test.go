@@ -31,6 +31,19 @@ func FuzzDecode(f *testing.F) {
 		{Type: TypeProbe, Seq: 11, Key: "flow/1"},
 		{Type: TypeProbeAck, Seq: 12, Key: "flow/1"},
 		{Type: TypeProbe, Seq: 13, Key: ""},
+		// VersionExt frames carrying the trace-context TLV.
+		{Type: TypeTrigger, Seq: 14, Key: "flow/1", Value: []byte("10Mbps"),
+			Trace: TraceContext{OriginNs: 1234, HopNs: 5678, Hops: 2}},
+		{Type: TypeRefresh, Seq: 15, Key: "k",
+			Trace: TraceContext{OriginNs: 1, HopNs: 1}},
+		// The convergence auditor's census exchange.
+		{Type: TypeDigest, Seq: 16, Value: DigestRequest{Kind: DigestSummary}.Encode()},
+		{Type: TypeDigest, Seq: 17, Value: DigestRequest{Kind: DigestDetail, Bucket: 3}.Encode()},
+		{Type: TypeDigestReply, Seq: 18, Value: mustEncodeReply(f, &DigestReply{
+			Kind: DigestSummary, Sums: []uint64{1, 2, 3, 4}})},
+		{Type: TypeDigestReply, Seq: 19, Value: mustEncodeReply(f, &DigestReply{
+			Kind: DigestDetail, Bucket: 1, Parts: 1,
+			Keys: []DigestKeySum{{Key: "flow/1", Sum: 99}}})},
 	}
 	for i := range seed {
 		data, err := seed[i].MarshalBinary()
@@ -95,6 +108,24 @@ func FuzzDecode(f *testing.F) {
 	f.Add(dupBatch)
 	strayProbeAck, _ := (&Message{Type: TypeProbeAck, Seq: ^uint64(0), Key: "evicted/peer/key"}).MarshalBinary()
 	f.Add(strayProbeAck)
+	// Corrupted trace extensions: zero origin stamp, unknown TLV type,
+	// inconsistent lengths, and a v2 summary frame.
+	traced, _ := (&Message{Type: TypeTrigger, Seq: 20, Key: "k", Value: []byte("v"),
+		Trace: TraceContext{OriginNs: 1000, HopNs: 2000, Hops: 1}}).MarshalBinary()
+	zeroOrigin := append([]byte{}, traced...)
+	for i := 15; i < 23; i++ {
+		zeroOrigin[i] = 0
+	}
+	f.Add(resealFrame(zeroOrigin))
+	badTLV := append([]byte{}, traced...)
+	badTLV[13] = 99
+	f.Add(resealFrame(badTLV))
+	badExtLen := append([]byte{}, traced...)
+	badExtLen[12] = 7
+	f.Add(resealFrame(badExtLen))
+	v2summary := append([]byte{}, summary...)
+	v2summary[0] = VersionExt
+	f.Add(resealFrame(v2summary))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var m Message
@@ -141,6 +172,12 @@ func FuzzDecode(f *testing.F) {
 		} else if m.Acks != nil {
 			t.Fatalf("non-batch decoded with ack list: %+v", m)
 		}
+		if m.Trace.Sampled() && (m.Type.Summary() || m.Type.Batch()) {
+			t.Fatalf("list frame decoded with trace context: %+v", m)
+		}
+		if m.Trace.Sampled() != (data[0] == VersionExt) {
+			t.Fatalf("version %d decoded trace %+v", data[0], m.Trace)
+		}
 		// Round trip: an accepted frame re-encodes to the same bytes.
 		out, err := m.MarshalBinary()
 		if err != nil {
@@ -150,6 +187,15 @@ func FuzzDecode(f *testing.F) {
 			t.Fatalf("re-encode mismatch:\n in  %x\n out %x", data, out)
 		}
 	})
+}
+
+// mustEncodeReply encodes a digest reply for the seed corpus.
+func mustEncodeReply(f *testing.F, r *DigestReply) []byte {
+	val, err := r.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return val
 }
 
 // resealFrame recomputes the CRC trailer of a hand-edited frame.

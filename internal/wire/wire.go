@@ -32,6 +32,28 @@
 //
 //	2     item count N (≤ MaxAckItems)
 //	N ×   { 1: ack kind, 8: sequence, 2: key length, key bytes }
+//
+// Version 2 frames carry an optional extension block between the fixed
+// header and the key — today a single trace-context TLV stamped on
+// sampled keys' datagrams for cross-node causal tracing:
+//
+//	offset  size  field
+//	0       1     version (2)
+//	1       1     type
+//	2       8     sequence number
+//	10      2     key length K
+//	12      1     extension block length E
+//	13      E     extension TLVs { 1: ext type, 1: ext length, payload }
+//	13+E    K     key bytes
+//	...           value length, value, CRC32 as in version 1
+//
+// A version-1 frame encodes byte-identically to before the extension
+// existed; version 2 is emitted only when a message actually carries a
+// trace context, so untraced traffic is wire-compatible with old
+// decoders. Decoding is strict: a v2 frame must carry exactly the
+// canonical trace TLV (unknown or duplicate TLVs are rejected rather
+// than silently dropped, preserving the decode/re-encode round-trip the
+// fuzzer enforces). Summary and ack-batch frames never carry extensions.
 package wire
 
 import (
@@ -41,8 +63,48 @@ import (
 	"hash/crc32"
 )
 
-// Version is the current wire format version.
+// Version is the baseline wire format version.
 const Version = 1
+
+// VersionExt is the extended wire format version: identical to Version
+// plus an extension block (currently the trace-context TLV) between the
+// fixed header and the key. Encoders emit it only when a message carries
+// a sampled trace context.
+const VersionExt = 2
+
+// Extension TLV types carried by VersionExt frames.
+const (
+	// ExtTrace is the trace-context TLV: 8-byte origin timestamp, 8-byte
+	// hop timestamp, 1-byte hop count (all big endian).
+	ExtTrace = 1
+
+	extTraceLen  = 8 + 8 + 1       // TLV payload
+	extTraceTLV  = 2 + extTraceLen // type byte, length byte, payload
+	extRegionLen = 1 + extTraceTLV // block length byte + the one TLV
+)
+
+// TraceContext is the hop-propagated causal-tracing context carried by
+// sampled keys' datagrams as a VersionExt extension. Timestamps are
+// nanoseconds since the runtime's shared sequence epoch, so they are
+// meaningful across virtual-clock replays and (modulo clock skew)
+// across hosts.
+type TraceContext struct {
+	// OriginNs is the origin endpoint's stamp, propagated unchanged by
+	// relays: receiver time minus OriginNs is the end-to-end install
+	// latency across however many hops the context has crossed. A zero
+	// OriginNs means "no trace context" (the sampled predicate).
+	OriginNs int64
+	// HopNs is the immediate sender's send stamp, re-stamped at every
+	// hop: receiver time minus HopNs is the one-hop propagation latency.
+	HopNs int64
+	// Hops counts store-and-forward hops already traversed (0 on the
+	// origin's own transmission; a relay re-propagates with Hops+1).
+	Hops uint8
+}
+
+// Sampled reports whether the context is present (the key was sampled
+// for tracing at the origin).
+func (tc TraceContext) Sampled() bool { return tc.OriginNs != 0 }
 
 // Size limits keep a message inside a single conventional UDP datagram.
 const (
@@ -95,6 +157,16 @@ const (
 	// sender that no longer owns the key stays silent, letting the
 	// receiver's miss counter declare the state orphaned.
 	TypeProbeAck
+	// TypeDigest asks a peer for its state-table digest — the census
+	// request of the convergence auditor. The value region carries a
+	// DigestRequest (see digest.go); Seq is a requester-chosen nonce that
+	// the reply echoes.
+	TypeDigest
+	// TypeDigestReply answers a digest request: either the per-bucket
+	// digest sums, or the per-key digests of one bucket being resolved
+	// down to divergent keys. The value region carries the reply payload
+	// (see digest.go).
+	TypeDigestReply
 	maxType
 )
 
@@ -127,6 +199,10 @@ func (t Type) String() string {
 		return "probe"
 	case TypeProbeAck:
 		return "probe-ack"
+	case TypeDigest:
+		return "digest"
+	case TypeDigestReply:
+		return "digest-reply"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -151,6 +227,8 @@ var (
 	ErrTooLarge = errors.New("wire: key or value exceeds size limit")
 	ErrSummary  = errors.New("wire: malformed summary message")
 	ErrAckBatch = errors.New("wire: malformed ack batch")
+	ErrExt      = errors.New("wire: malformed extension block")
+	ErrDigest   = errors.New("wire: malformed digest payload")
 )
 
 // AckItem is one coalesced acknowledgement inside a TypeAckBatch message.
@@ -178,6 +256,11 @@ type Message struct {
 	Keys []string
 	// Acks is the item list of an ack batch; nil for all other types.
 	Acks []AckItem
+	// Trace is the optional causal-tracing context. When Sampled, the
+	// message encodes as a VersionExt frame carrying the trace TLV;
+	// otherwise the encoding is byte-identical to version 1. Summary and
+	// ack-batch messages never carry a context (it is ignored on encode).
+	Trace TraceContext
 }
 
 const headerLen = 1 + 1 + 8 + 2 // version, type, seq, key length
@@ -191,7 +274,11 @@ func (m *Message) EncodedLen() int {
 	if m.Type.Batch() {
 		return headerLen + 4 + ackBlockLen(m.Acks) + trailerLen
 	}
-	return headerLen + len(m.Key) + 4 + len(m.Value) + trailerLen
+	n := headerLen + len(m.Key) + 4 + len(m.Value) + trailerLen
+	if m.Trace.Sampled() {
+		n += extRegionLen
+	}
+	return n
 }
 
 // summaryBlockLen is the encoded size of a summary key list.
@@ -262,9 +349,19 @@ func (m *Message) Append(dst []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: key %d bytes, value %d bytes", ErrTooLarge, len(m.Key), len(m.Value))
 	}
 	start := len(dst)
-	dst = append(dst, Version, byte(m.Type))
+	version := byte(Version)
+	if m.Trace.Sampled() {
+		version = VersionExt
+	}
+	dst = append(dst, version, byte(m.Type))
 	dst = binary.BigEndian.AppendUint64(dst, m.Seq)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(m.Key)))
+	if version == VersionExt {
+		dst = append(dst, extTraceTLV, ExtTrace, extTraceLen)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(m.Trace.OriginNs))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(m.Trace.HopNs))
+		dst = append(dst, m.Trace.Hops)
+	}
 	dst = append(dst, m.Key...)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Value)))
 	dst = append(dst, m.Value...)
@@ -437,7 +534,7 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(trailer); got != want {
 		return ErrChecksum
 	}
-	if body[0] != Version {
+	if body[0] != Version && body[0] != VersionExt {
 		return fmt.Errorf("%w: %d", ErrVersion, body[0])
 	}
 	typ := Type(body[1])
@@ -456,6 +553,32 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("%w: nonzero key length", ErrAckBatch)
 	}
 	rest := body[12:]
+	var trace TraceContext
+	if body[0] == VersionExt {
+		// Extensions ride point-to-point state messages only; the list
+		// types never carry them.
+		if typ.Summary() || typ.Batch() {
+			return fmt.Errorf("%w: extension on %s frame", ErrExt, typ)
+		}
+		// Strict canonical form: exactly the one known TLV, so every
+		// accepted frame re-encodes to the identical bytes.
+		if len(rest) < extRegionLen {
+			return ErrShort
+		}
+		if rest[0] != extTraceTLV {
+			return fmt.Errorf("%w: block length %d", ErrExt, rest[0])
+		}
+		if rest[1] != ExtTrace || rest[2] != extTraceLen {
+			return fmt.Errorf("%w: TLV %d/%d", ErrExt, rest[1], rest[2])
+		}
+		trace.OriginNs = int64(binary.BigEndian.Uint64(rest[3:11]))
+		trace.HopNs = int64(binary.BigEndian.Uint64(rest[11:19]))
+		trace.Hops = rest[19]
+		if !trace.Sampled() {
+			return fmt.Errorf("%w: zero origin stamp", ErrExt)
+		}
+		rest = rest[extRegionLen:]
+	}
 	if len(rest) < keyLen+4 {
 		return ErrShort
 	}
@@ -480,6 +603,7 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 		m.Value = nil
 		m.Keys = keys
 		m.Acks = nil
+		m.Trace = TraceContext{}
 		return nil
 	}
 	if typ.Batch() {
@@ -493,6 +617,7 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 		m.Value = nil
 		m.Keys = nil
 		m.Acks = acks
+		m.Trace = TraceContext{}
 		return nil
 	}
 	var value []byte
@@ -506,6 +631,7 @@ func (m *Message) UnmarshalBinary(data []byte) error {
 	m.Value = value
 	m.Keys = nil
 	m.Acks = nil
+	m.Trace = trace
 	return nil
 }
 

@@ -29,7 +29,7 @@ trap 'kill $(jobs -p) 2>/dev/null || true' EXIT
 go build -o "$bin" ./cmd/signald
 
 "$bin" -mode serve -addr 127.0.0.1:0 -protocol ss+rtr \
-	-metrics-addr 127.0.0.1:0 >"$serve_log" 2>&1 &
+	-census -metrics-addr 127.0.0.1:0 >"$serve_log" 2>&1 &
 
 # signald prints "receiver on <addr>" and "metrics on http://<addr>/metrics"
 # once bound; wait for both with a deadline.
@@ -61,10 +61,28 @@ if [ "$up" != 1 ]; then
 	fail "metrics endpoint never answered at $metrics_addr"
 fi
 
-# Drive some real state through the receiver so the gauges move.
+# Drive some real state through the receiver so the gauges move. The
+# sender runs its own metrics listener with the convergence auditor and
+# every-key tracing on, so this side's census and trace surfaces are
+# scrapable too.
 "$bin" -mode send -peer "$serve_addr" -protocol ss+rtr \
-	-key smoke/key -value ok -hold 3s -refresh 300ms \
+	-key smoke/key -value ok -hold 6s -refresh 300ms \
+	-census -trace-sample 1 -metrics-addr 127.0.0.1:0 \
 	>"$send_log" 2>&1 &
+
+send_metrics=""
+for _ in $(seq 1 100); do
+	send_metrics=$(sed -n 's|^signald: metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$send_log" | head -1)
+	if [ -n "$send_metrics" ]; then
+		break
+	fi
+	sleep 0.1
+done
+if [ -z "$send_metrics" ]; then
+	fail "sender never reported its metrics address"
+fi
+echo "signald: sender metrics $send_metrics"
+
 sleep 2
 
 curl -fsS "http://$metrics_addr/metrics" >"$scrape"
@@ -91,6 +109,55 @@ curl -fsS "http://$metrics_addr/metrics.json" >/dev/null
 curl -fsS "http://$metrics_addr/debug/vars" >/dev/null
 curl -fsS "http://$metrics_addr/debug/pprof/cmdline" >/dev/null
 echo "ok: /metrics.json, /debug/vars, /debug/pprof answer"
+
+# Process self-metrics must be on every telemetry listener.
+if ! grep -q '^process_uptime_seconds' "$scrape" || ! grep -q '^process_goroutines' "$scrape"; then
+	echo "--- scrape ---" >&2
+	cat "$scrape" >&2
+	fail "process self-metrics missing from /metrics"
+fi
+echo "ok: process self-metrics present"
+
+# The sender's convergence auditor: while the key is held and refreshing,
+# /debug/census must settle to zero divergent keys (each GET runs a fresh
+# census over the wire digest protocol).
+census="$workdir/census.json"
+converged=0
+for _ in $(seq 1 40); do
+	if curl -fsS "http://$send_metrics/debug/census" >"$census" 2>/dev/null &&
+		grep -q '"divergent_keys": 0' "$census" &&
+		grep -q '"failed_links": 0' "$census"; then
+		converged=1
+		break
+	fi
+	sleep 0.2
+done
+if [ "$converged" != 1 ]; then
+	echo "--- last census ---" >&2
+	cat "$census" >&2 || true
+	fail "sender census never converged to zero divergent keys"
+fi
+echo "ok: /debug/census converged (divergent_keys = 0)"
+
+# The census gauges must be on the sender's /metrics too.
+send_scrape="$workdir/send_scrape.txt"
+curl -fsS "http://$send_metrics/metrics" >"$send_scrape"
+dg=$(grep '^softstate_divergent_keys' "$send_scrape" | head -1 || true)
+if [ -z "$dg" ]; then
+	fail "softstate_divergent_keys missing from sender /metrics"
+fi
+echo "ok: $dg"
+
+# The trace ring: every-key sampling on a refreshing sender must have
+# retained events by now.
+trace="$workdir/trace.json"
+curl -fsS "http://$send_metrics/debug/trace.json?n=50" >"$trace"
+if ! grep -q '"kind"' "$trace"; then
+	echo "--- trace ---" >&2
+	cat "$trace" >&2
+	fail "/debug/trace.json returned no events with -trace-sample 1"
+fi
+echo "ok: /debug/trace.json serves the event ring"
 
 if [ "$bad" != 0 ]; then
 	echo "--- scrape ---" >&2
